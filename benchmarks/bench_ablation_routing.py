@@ -1,0 +1,53 @@
+"""Ablation benchmark: minimal vs any-valid up-path selection.
+
+DESIGN.md calls out the up-path selection policy as a design choice:
+the paper's up/down routing picks among *minimal* up-ports at random;
+allowing any valid (possibly non-minimal) up-port trades path length
+for spreading.  This ablation simulates both on the same RFC under
+random-pairing traffic.
+"""
+
+from repro.core.rfc import rfc_with_updown
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import simulate
+from repro.simulation.traffic import make_traffic
+
+_PARAMS = SimulationParams(measure_cycles=800, warmup_cycles=250, seed=0)
+
+
+def _saturation(topo, minimal: bool) -> float:
+    traffic = make_traffic("random-pairing", topo.num_terminals, rng=5)
+    params = _PARAMS.scaled(minimal_routing=minimal)
+    return simulate(topo, traffic, 1.0, params).accepted_load
+
+
+def test_minimal_routing(benchmark):
+    topo, _ = rfc_with_updown(8, 32, 3, rng=4)
+    accepted = benchmark.pedantic(
+        lambda: _saturation(topo, True), rounds=2, iterations=1
+    )
+    print(f"\nminimal up/down saturation (pairing): {accepted:.3f}")
+    assert accepted > 0.3
+
+
+def test_nonminimal_routing(benchmark):
+    topo, _ = rfc_with_updown(8, 32, 3, rng=4)
+    accepted = benchmark.pedantic(
+        lambda: _saturation(topo, False), rounds=2, iterations=1
+    )
+    print(f"\nany-valid up/down saturation (pairing): {accepted:.3f}")
+    assert accepted > 0.2
+
+
+def test_adaptive_up_selection(benchmark):
+    """Congestion-aware output choice vs Table 2's random request."""
+    topo, _ = rfc_with_updown(8, 32, 3, rng=4)
+
+    def run():
+        traffic = make_traffic("random-pairing", topo.num_terminals, rng=5)
+        params = _PARAMS.scaled(up_selection="adaptive")
+        return simulate(topo, traffic, 1.0, params).accepted_load
+
+    accepted = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(f"\nadaptive up-selection saturation (pairing): {accepted:.3f}")
+    assert accepted > 0.3

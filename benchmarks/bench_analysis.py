@@ -1,0 +1,37 @@
+"""Benchmarks for the analysis battery and routing-table construction."""
+
+from repro.analysis import analyze_network
+from repro.core.rfc import radix_regular_rfc, rfc_with_updown
+from repro.routing.updown import UpDownRouter
+
+
+def test_network_report(benchmark):
+    topo, _ = rfc_with_updown(8, 32, 3, rng=1)
+    report = benchmark.pedantic(
+        lambda: analyze_network(topo, rng=2, fault_trials=2),
+        rounds=2,
+        iterations=1,
+    )
+    print(f"\n{report.render()}")
+    assert report.updown_routable
+
+
+def test_router_table_build(benchmark):
+    """Bitset reach-table construction on a mid-size RFC."""
+    topo = radix_regular_rfc(12, 240, 3, rng=3)
+    router = benchmark(lambda: UpDownRouter.for_topology(topo))
+    assert router.num_levels == 3
+
+
+def test_router_hop_decision(benchmark):
+    topo, _ = rfc_with_updown(12, 120, 3, rng=4)
+    router = UpDownRouter.for_topology(topo)
+
+    def hops():
+        total = 0
+        for a in range(0, 120, 7):
+            direction, cands = router.next_hops(0, a, 119)
+            total += len(cands)
+        return total
+
+    assert benchmark(hops) >= 0

@@ -1,0 +1,16 @@
+"""Figure 10 benchmark: scenario 3 (maximum expansion) sweep."""
+
+from repro.experiments.scenario_sim import run_scenario
+
+
+def test_fig10_sweep(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_scenario(
+            "maximum-200k", quick=True, seed=0, loads=[0.4, 0.8]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) == 6

@@ -1,0 +1,16 @@
+"""Figure 12 benchmark: saturation throughput under link faults."""
+
+from repro.experiments.fig12_faulty_throughput import run
+
+
+def test_fig12_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: run(quick=True, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    # Healthy networks must beat their own degraded versions.
+    rows = [dict(zip(table.headers, r)) for r in table.rows]
+    uniform = [r for r in rows if r["traffic"] == "uniform"]
+    assert uniform[0]["CFT accepted"] > uniform[-1]["CFT accepted"]
+    assert uniform[0]["RFC accepted"] > uniform[-1]["RFC accepted"]

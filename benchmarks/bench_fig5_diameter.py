@@ -1,0 +1,20 @@
+"""Figure 5 benchmark: diameter-vs-size curves (analytic + one
+empirical RFC instance at the size limit)."""
+
+from repro.experiments.fig5_diameter import empirical_check, run
+
+
+def test_fig5_table(benchmark):
+    table = benchmark(lambda: run(quick=True, seed=0))
+    print()
+    print(table.render())
+    assert table.column("terminals")
+
+
+def test_fig5_empirical_instance(benchmark):
+    message = benchmark.pedantic(
+        lambda: empirical_check(radix=10, levels=2, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert "leaf diameter 2" in message

@@ -1,0 +1,10 @@
+"""Figure 6 benchmark: scalability table (closed forms)."""
+
+from repro.experiments.fig6_scalability import run
+
+
+def test_fig6_table(benchmark):
+    table = benchmark(lambda: run(quick=True, seed=0))
+    print()
+    print(table.render())
+    assert len(table.rows) >= 5

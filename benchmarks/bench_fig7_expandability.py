@@ -1,0 +1,22 @@
+"""Figure 7 benchmark: expandability curves + strong-expansion rewiring."""
+
+from repro.core.expansion import expand_rfc
+from repro.core.rfc import rfc_with_updown
+from repro.experiments.fig7_expandability import run
+
+
+def test_fig7_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: run(quick=True, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) >= 8
+
+
+def test_strong_expansion_step(benchmark):
+    """One minimal RFC upgrade (the +R compute nodes operation)."""
+    topo, _ = rfc_with_updown(12, 80, 3, rng=4)
+    benchmark.pedantic(
+        lambda: expand_rfc(topo, steps=1, rng=5), rounds=3, iterations=1
+    )

@@ -1,0 +1,39 @@
+"""Figure 8 benchmark: scenario 1 (equal resources) load sweep.
+
+The full quick sweep runs once (pedantic); a single mid-load
+simulation point is benchmarked separately as the kernel metric.
+"""
+
+from repro.experiments.scenario_sim import build_networks, run_scenario
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import simulate
+from repro.simulation.traffic import make_traffic
+
+_BENCH_PARAMS = SimulationParams(measure_cycles=600, warmup_cycles=200, seed=0)
+
+
+def test_fig8_sweep(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_scenario(
+            "equal-resources-11k", quick=True, seed=0,
+            loads=[0.3, 0.6, 0.9],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) == 9
+
+
+def test_fig8_single_point_kernel(benchmark):
+    networks = build_networks("equal-resources-11k", quick=True, seed=0)
+
+    def one_point():
+        traffic = make_traffic(
+            "uniform", networks.rfc.num_terminals, rng=7
+        )
+        return simulate(networks.rfc, traffic, 0.5, _BENCH_PARAMS)
+
+    result = benchmark.pedantic(one_point, rounds=2, iterations=1)
+    assert 0.3 < result.accepted_load < 0.7

@@ -1,0 +1,16 @@
+"""Figure 9 benchmark: scenario 2 (intermediate expansion) sweep."""
+
+from repro.experiments.scenario_sim import run_scenario
+
+
+def test_fig9_sweep(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_scenario(
+            "intermediate-100k", quick=True, seed=0, loads=[0.4, 0.8]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) == 6

@@ -1,0 +1,36 @@
+"""Theorem 9.1 benchmark: random (bi)regular graph generation time.
+
+The paper claims each generator iteration runs in expected
+O(N * Delta * ln Delta); these benchmarks time the generators across a
+size/degree grid so the scaling constant can be read off the report.
+"""
+
+import pytest
+
+from repro.topologies.random_graphs import (
+    random_bipartite_graph,
+    random_regular_graph,
+)
+
+
+@pytest.mark.parametrize("n,degree", [(200, 6), (800, 6), (800, 12)])
+def test_random_regular_generation(benchmark, n, degree):
+    result = benchmark(lambda: random_regular_graph(n, degree, rng=1))
+    assert all(len(row) == degree for row in result)
+
+
+@pytest.mark.parametrize("n,degree", [(200, 6), (800, 6), (800, 12)])
+def test_random_bipartite_generation(benchmark, n, degree):
+    adj1, adj2 = benchmark(
+        lambda: random_bipartite_graph(n, degree, n, degree, rng=1)
+    )
+    assert all(len(row) == degree for row in adj1)
+
+
+def test_rfc_generation_paper_scale_stage(benchmark):
+    """One full inter-level stage at radix 36, N1=1,000 (the building
+    block of a paper-scale RFC)."""
+    adj1, _ = benchmark(
+        lambda: random_bipartite_graph(1_000, 18, 1_000, 18, rng=2)
+    )
+    assert len(adj1) == 1_000

@@ -1,0 +1,12 @@
+"""Section 4.2 benchmark: bisection/expander table."""
+
+from repro.experiments.sec42_bisection import run
+
+
+def test_sec42_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: run(quick=True, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) == 7

@@ -1,0 +1,10 @@
+"""Section 5 benchmark: scenario cost table (closed forms)."""
+
+from repro.experiments.sec5_scenarios import run
+
+
+def test_sec5_table(benchmark):
+    table = benchmark(lambda: run(quick=True, seed=0))
+    print()
+    print(table.render())
+    assert len(table.rows) == 7

@@ -1,0 +1,14 @@
+"""Table 3 benchmark: link failures to disconnect matched networks."""
+
+from repro.experiments.table3_disconnect import run
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(
+        lambda: run(quick=True, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    for row in table.rows:
+        by = dict(zip(table.headers, row))
+        assert by["RFC %"] < by["CFT %"]

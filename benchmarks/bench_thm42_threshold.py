@@ -1,0 +1,21 @@
+"""Theorem 4.2 benchmark: routability checking and threshold sweep."""
+
+from repro.core.ancestors import has_updown_routing_of
+from repro.core.rfc import radix_regular_rfc
+from repro.experiments.thm42_threshold import run
+
+
+def test_updown_check_speed(benchmark):
+    """The bitset double sweep on a 64-leaf RFC."""
+    topo = radix_regular_rfc(24, 64, 2, rng=3)
+    benchmark(lambda: has_updown_routing_of(topo))
+
+
+def test_thm42_experiment(benchmark):
+    """Full quick threshold-validation table (one round)."""
+    table = benchmark.pedantic(
+        lambda: run(quick=True, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    assert len(table.rows) >= 4

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one paper table/figure (quick
+parameter set) under pytest-benchmark timing.  Heavy simulations run
+as single-round pedantic benchmarks; analytic experiments use normal
+auto-calibrated rounds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+collect_ignore_glob: list[str] = []

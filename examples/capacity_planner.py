@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Capacity planner: pick an RFC for a target server count.
+
+The tool a datacenter architect would actually run: given a server
+target and the switch radix on the price list, recommend an RFC —
+levels, leaf count, threshold slack `x`, expected generation attempts,
+cost versus the CFT alternative, growth headroom and an empirical
+fault-tolerance estimate on a scaled instance.
+
+Run: ``python examples/capacity_planner.py [servers] [radix]``
+"""
+
+import sys
+
+from repro import rfc_max_leaves, threshold_radix, updown_probability, x_for_radix
+from repro.cost import PriceModel, cft_cost, expandability_curve, rfc_cost
+from repro.core.theory import cft_diameter, rfc_diameter
+
+
+def plan(servers: int, radix: int) -> None:
+    half = radix // 2
+    print(f"target: {servers:,} servers on radix-{radix} switches\n")
+
+    # Smallest level count whose threshold capacity fits the target.
+    levels = 2
+    while rfc_max_leaves(radix, levels) * half < servers:
+        levels += 1
+        if levels > 8:
+            print("radix too small for this target at any sane depth")
+            return
+    n1 = 2 * -(-servers // (2 * half))  # even ceil
+    cap = rfc_max_leaves(radix, levels)
+    x = x_for_radix(radix, n1, levels)
+    print(f"recommended RFC: {levels} levels, N1={n1} leaf switches "
+          f"(cap {cap}), diameter {2 * (levels - 1)}")
+    print(f"  threshold radix at this size: "
+          f"{threshold_radix(n1, levels):.1f} (installed: {radix})")
+    print(f"  threshold slack x = {x:+.2f} -> P(routable sample) = "
+          f"{updown_probability(x):.3f}")
+    if x < 1:
+        print("  WARNING: little slack; expect generation retries and "
+              "low fault budget -- consider one more level")
+
+    rfc = rfc_cost(radix, n1, levels)
+    cft_levels = 1
+    from repro.topologies.fattree import cft_terminals
+
+    while cft_terminals(radix, cft_levels) < servers:
+        cft_levels += 1
+    cft = cft_cost(radix, cft_levels)
+    model = PriceModel(switch_base=4_000, per_port=120, per_cable=60,
+                      per_nic=80)
+    print(f"\ncost ({servers:,} servers):")
+    print(f"  RFC : {rfc.switches:>7,} switches, {rfc.wires:>9,} cables, "
+          f"~{model.deployment_price(rfc):>13,.0f}")
+    print(f"  CFT : {cft.switches:>7,} switches ({cft_levels} levels), "
+          f"{cft.wires:>9,} cables, ~{model.deployment_price(cft):>13,.0f}")
+    saving = 1 - model.deployment_price(rfc) / model.deployment_price(cft)
+    print(f"  RFC saves {saving:.1%}")
+    print(f"  diameters: RFC {rfc_diameter(radix, servers)}, "
+          f"CFT {cft_diameter(radix, servers)}")
+
+    headroom = (cap - n1) // 2 * radix
+    print(f"\ngrowth: strong expansion adds {radix} servers per step; "
+          f"{headroom:,} more servers before a new level is needed")
+
+    # Fault-tolerance estimate on a scaled instance (same x regime).
+    from repro.core.rfc import rfc_with_updown
+    from repro.faults import updown_fault_tolerance
+
+    scale_n1 = min(n1, 120)
+    topo, _ = rfc_with_updown(radix if radix <= 16 else 12,
+                              scale_n1 if scale_n1 % 2 == 0 else scale_n1 + 1,
+                              levels, rng=1)
+    tolerance = updown_fault_tolerance(topo, trials=5, rng=2)
+    print(f"\nfault budget (scaled instance {topo.name}): up/down routing "
+          f"survives ~{tolerance.mean_percent:.1f}% random link failures")
+
+
+def main() -> None:
+    servers = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    radix = int(sys.argv[2]) if len(sys.argv) > 2 else 36
+    plan(servers, radix)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Growing a datacenter: RFC strong expansion vs CFT forklift upgrades.
+
+The scenario the paper's Section 5 motivates: a datacenter starts
+small and adds racks over time.  With a commodity fat-tree, growth
+beyond the current level's capacity forces a *weak* expansion -- a
+whole new switch level (here we track the port bill).  An RFC grows in
+*strong* steps of ``R`` compute nodes: two switches per level, one
+root, a few dozen cables re-plugged, no new level until the
+Theorem 4.2 limit.
+
+The script starts from a radix-12 RFC, applies strong expansions while
+tracking rewiring cost and routability, and prints the CFT's step
+function alongside.
+
+Run: ``python examples/datacenter_expansion.py``
+"""
+
+from repro import (
+    expand_rfc,
+    has_updown_routing_of,
+    rfc_with_updown,
+    strong_expansion_limit,
+    weak_expand_rfc,
+)
+from repro.cost import expandability_curve
+
+
+def main() -> None:
+    radix, levels = 12, 3
+    limit = strong_expansion_limit(radix, levels)
+    print(f"radix {radix}, {levels} levels: strong expansion works up "
+          f"to {limit} leaves ({limit * radix // 2:,} compute nodes)\n")
+
+    topo, _ = rfc_with_updown(radix, 60, levels, rng=1)
+    print(f"day 0:  {topo.num_terminals:5d} nodes, "
+          f"{topo.num_switches} switches, {topo.num_links} cables")
+
+    total_rewired = 0
+    for month, steps in enumerate((5, 10, 20), start=1):
+        before_links = topo.num_links
+        topo, report = expand_rfc(topo, steps=steps, rng=month)
+        total_rewired += report.links_removed
+        routable = has_updown_routing_of(topo)
+        print(
+            f"month {month}: +{report.terminals_added:4d} nodes -> "
+            f"{topo.num_terminals:5d} total; re-plugged "
+            f"{report.links_removed} of {before_links} cables "
+            f"({report.rewired_fraction(before_links):.1%}); "
+            f"up/down routing {'OK' if routable else 'LOST'}"
+        )
+
+    print(f"\ncumulative cables re-plugged: {total_rewired} "
+          f"(network now has {topo.num_links})")
+
+    # When the strong-expansion budget runs out, add a level.
+    print("\napproaching the Theorem 4.2 limit -> weak expansion:")
+    taller, report = weak_expand_rfc(topo, rng=99)
+    print(f"added a level: {taller.num_levels} levels now, "
+          f"{report.switches_added} new switches, headroom up to "
+          f"{strong_expansion_limit(radix, taller.num_levels)} leaves")
+
+    # The CFT alternative: a step function of forklift upgrades.
+    print("\nCFT vs RFC port bill at each size (radix 36, paper scale):")
+    sizes = [5_000, 11_664, 20_000, 100_008, 202_572]
+    cft = expandability_curve("cft", 36, sizes)
+    rfc = expandability_curve("rfc", 36, sizes)
+    print(f"{'nodes':>10} {'CFT ports':>12} {'RFC ports':>12} {'saving':>8}")
+    for size, c, r in zip(sizes, cft, rfc):
+        print(f"{size:>10,} {c.ports:>12,} {r.ports:>12,} "
+              f"{1 - r.ports / c.ports:>7.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: generate an RFC, inspect it, route on it, simulate it.
+
+Walks the core public API end to end in under a minute:
+
+1. size an RFC with the Theorem 4.2 threshold machinery,
+2. generate an up/down routable instance (retrying per the theorem),
+3. route a few terminal pairs with the deadlock-free up/down ECMP,
+4. run the cycle-level simulator under uniform traffic,
+5. cross-check with the flow-level max-min model.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    UpDownRouter,
+    rfc_max_leaves,
+    rfc_with_updown,
+    threshold_radix,
+    updown_probability,
+    x_for_radix,
+)
+from repro.simulation import (
+    SimulationParams,
+    flow_level_throughput,
+    make_traffic,
+    simulate,
+)
+
+
+def main() -> None:
+    radix, levels = 12, 3
+
+    # 1. Size the network: how many leaves can this radix support
+    #    while keeping deadlock-free up/down routing (Theorem 4.2)?
+    cap = rfc_max_leaves(radix, levels)
+    print(f"radix {radix}, {levels} levels: up to {cap} leaf switches "
+          f"({cap * radix // 2:,} compute nodes)")
+    n1 = 120  # stay under the cap -- slack buys fault tolerance
+    x = x_for_radix(radix, n1, levels)
+    print(f"chosen N1={n1}: threshold radix "
+          f"{threshold_radix(n1, levels):.1f}, offset x={x:+.2f}, "
+          f"P(routable) ~ {updown_probability(x):.3f}")
+
+    # 2. Generate (the constructor retries until routable).
+    topo, attempts = rfc_with_updown(radix, n1, levels, rng=42)
+    print(f"generated {topo.name} in {attempts} attempt(s): "
+          f"{topo.num_terminals} terminals, {topo.num_switches} switches, "
+          f"{topo.num_links} cables")
+
+    # 3. Route some pairs.
+    router = UpDownRouter.for_topology(topo)
+    for a, b in ((0, n1 - 1), (3, 77), (5, 5)):
+        path = router.path(a, b, rng=1)
+        print(f"leaf {a} -> leaf {b}: {len(path) - 1} hops, "
+              f"{router.ecmp_width(a, b)} equal-cost routes")
+
+    # 4. Simulate uniform traffic at 60% load.
+    params = SimulationParams(measure_cycles=2_000, warmup_cycles=500, seed=7)
+    traffic = make_traffic("uniform", topo.num_terminals, rng=7)
+    result = simulate(topo, traffic, 0.6, params)
+    print(f"simulated load 0.60: accepted {result.accepted_load:.3f}, "
+          f"mean latency {result.avg_latency:.1f} cycles, "
+          f"mean switch hops {result.avg_hops:.2f}")
+
+    # 5. Flow-level cross-check at saturation.
+    sat = flow_level_throughput(topo, "uniform", flows_per_terminal=4, rng=7)
+    print(f"flow-level max-min saturation estimate: {sat:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Topology shoot-out: CFT vs RFC vs OFT vs RRN at matched size.
+
+Builds one instance of each family at roughly the same compute-node
+count (the paper's Table 3 sizing: smallest radix reaching the target
+at diameter 4) and compares them on every axis the paper uses:
+
+* radix, switches, cables, ports (cost),
+* leaf-to-leaf diameter and mean distance,
+* normalized bisection (analytic bound + local-search estimate),
+* random-failure disconnection fraction,
+* flow-level saturation under the three traffics.
+
+Run: ``python examples/topology_shootout.py``  (~1 minute)
+"""
+
+from repro.experiments.table3_disconnect import (
+    cft_for_terminals,
+    oft_for_terminals,
+    rfc_for_terminals,
+    rrn_for_terminals,
+)
+from repro.faults import disconnection_fraction
+from repro.graphs.bisection import estimate_bisection_width
+from repro.graphs.metrics import average_distance, leaf_diameter
+from repro.simulation import flow_level_throughput
+
+TARGET = 500
+
+
+def leaf_ids(net):
+    if hasattr(net, "num_leaves"):
+        return [net.switch_id(0, i) for i in range(net.num_leaves)]
+    return list(range(net.num_switches))
+
+
+def main() -> None:
+    networks = {
+        "CFT": cft_for_terminals(TARGET),
+        "RRN": rrn_for_terminals(TARGET, rng=1),
+        "RFC": rfc_for_terminals(TARGET, rng=1),
+        "OFT": oft_for_terminals(TARGET),
+    }
+    print(f"target: ~{TARGET} compute nodes, diameter 4\n")
+    header = (
+        f"{'':5} {'T':>5} {'radix':>5} {'switch':>6} {'cables':>6} "
+        f"{'diam':>4} {'avgdist':>7} {'bisect':>6} {'disc %':>6} "
+        f"{'uni':>5} {'pair':>5} {'hot':>5}"
+    )
+    print(header)
+    for name, net in networks.items():
+        adj = net.adjacency()
+        diam = leaf_diameter(adj, leaf_ids(net))
+        avg = average_distance(adj)
+        bis = estimate_bisection_width(adj, restarts=4, rng=2)
+        disc = disconnection_fraction(net, trials=10, rng=3).mean_percent
+        if hasattr(net, "num_leaves"):  # folded Clos families
+            uni = flow_level_throughput(net, "uniform", 4, rng=4)
+            pair = flow_level_throughput(net, "random-pairing", rng=4)
+            hot = flow_level_throughput(net, "fixed-random", rng=4)
+            thpt = f"{uni:>5.2f} {pair:>5.2f} {hot:>5.2f}"
+        else:  # direct network: up/down model does not apply
+            thpt = f"{'-':>5} {'-':>5} {'-':>5}"
+        print(
+            f"{name:5} {net.num_terminals:>5} {net.radix:>5} "
+            f"{net.num_switches:>6} {net.num_links:>6} {diam:>4} "
+            f"{avg:>7.2f} {bis:>6} {disc:>6.1f} {thpt}"
+        )
+    print(
+        "\nReading: the RFC reaches the size with a smaller radix than "
+        "the CFT (cost), beats the OFT on fault tolerance, and keeps "
+        "most of the CFT's throughput; the OFT is cheapest per node but "
+        "fragile (paper Sections 5-7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Collect full-scale experiment outputs for EXPERIMENTS.md.
+
+Runs every experiment at its full parameter set (with trimmed load
+grids for the cycle-level sweeps, which dominate runtime on one core)
+and writes each table to ``results/full/<id>.txt`` as it completes.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import run_experiment
+from repro.experiments.scenario_sim import run_scenario
+
+OUT = Path(__file__).resolve().parent.parent / "results" / "full"
+OUT.mkdir(parents=True, exist_ok=True)
+
+
+def record(name: str, table) -> None:
+    (OUT / f"{name}.txt").write_text(table.render() + "\n")
+    (OUT / f"{name}.csv").write_text(table.to_csv())
+    print(f"[done] {name}", flush=True)
+
+
+def main() -> None:
+    start = time.time()
+
+    for name in ("sec5", "fig5", "fig6", "fig7", "sec42", "thm91",
+                 "thm42", "tab3", "fig11"):
+        t0 = time.time()
+        try:
+            record(name, run_experiment(name, quick=False, seed=0))
+        except Exception as exc:  # keep collecting
+            print(f"[fail] {name}: {exc}", flush=True)
+        print(f"       {name}: {time.time() - t0:.0f}s", flush=True)
+
+    # Cycle-level sweeps: full (radix 12) networks, trimmed load grid.
+    sweeps = [
+        ("fig8", "equal-resources-11k", [0.3, 0.6, 0.9, 1.0]),
+        ("fig9", "intermediate-100k", [0.6, 1.0]),
+        ("fig10", "maximum-200k", [0.6, 1.0]),
+    ]
+    for name, scenario_name, loads in sweeps:
+        t0 = time.time()
+        try:
+            table = run_scenario(scenario_name, quick=False, seed=0,
+                                 loads=loads)
+            table.title = f"{name}: {table.title}"
+            record(name, table)
+        except Exception as exc:
+            print(f"[fail] {name}: {exc}", flush=True)
+        print(f"       {name}: {time.time() - t0:.0f}s", flush=True)
+
+    t0 = time.time()
+    try:
+        record("fig12", run_experiment("fig12", quick=False, seed=0))
+    except Exception as exc:
+        print(f"[fail] fig12: {exc}", flush=True)
+    print(f"       fig12: {time.time() - t0:.0f}s", flush=True)
+
+    print(f"all done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Collect the remaining full-scale sims: fig10 and fig12 only."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+spec = importlib.util.spec_from_file_location(
+    "collect_sims_minimal",
+    Path(__file__).resolve().parent / "collect_sims_minimal.py",
+)
+module = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(module)
+
+if __name__ == "__main__":
+    module.saturation_table("fig10", "maximum-200k")
+    module.fig12()
+    print("fig10 + fig12 done", flush=True)

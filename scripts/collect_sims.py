@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Collect the remaining simulation sweeps (trimmed for one core).
+
+Figures 9/10 run the full radix-12 scaled networks at two loads with a
+shorter (but still warmed) measurement window; Figure 12 runs the
+scenario-1 networks over five fault fractions and all three traffics.
+"""
+
+import time
+from pathlib import Path
+
+from repro.experiments.scenario_sim import build_networks, run_scenario
+from repro.faults.removal import shuffled_links
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import TRAFFIC_NAMES, make_traffic
+from repro.experiments.common import Table
+
+OUT = Path(__file__).resolve().parent.parent / "results" / "full"
+OUT.mkdir(parents=True, exist_ok=True)
+
+
+def record(name: str, table) -> None:
+    (OUT / f"{name}.txt").write_text(table.render() + "\n")
+    (OUT / f"{name}.csv").write_text(table.to_csv())
+    print(f"[done] {name}", flush=True)
+
+
+def scenario_sweep(name: str, scenario_name: str) -> None:
+    t0 = time.time()
+    params = SimulationParams(measure_cycles=1_000, warmup_cycles=300, seed=0)
+    table = run_scenario(
+        scenario_name, quick=False, seed=0, loads=[0.6, 1.0], params=params,
+        flow_check=False,
+    )
+    table.title = f"{name}: {table.title}"
+    record(name, table)
+    print(f"       {name}: {time.time() - t0:.0f}s", flush=True)
+
+
+def fig12() -> None:
+    t0 = time.time()
+    networks = build_networks("equal-resources-11k", quick=False, seed=0)
+    params = SimulationParams(measure_cycles=1_000, warmup_cycles=300, seed=0)
+    table = Table(
+        title="Figure 12: saturation throughput under link faults "
+        "(scenario 1, radix 12)",
+        headers=[
+            "traffic", "faults", "fault %",
+            "CFT accepted", "CFT unroutable",
+            "RFC accepted", "RFC unroutable",
+        ],
+    )
+    nets = {label: net for label, net in networks.all() if label != "RFC-alt"}
+    total = min(net.num_links for net in nets.values())
+    fractions = (0.0, 0.05, 0.1, 0.15, 0.25)
+    orders = {label: shuffled_links(net, rng=13) for label, net in nets.items()}
+    for traffic_name in TRAFFIC_NAMES:
+        for fraction in fractions:
+            count = round(fraction * total)
+            row = [traffic_name, count, 100.0 * fraction]
+            for label in ("CFT", "RFC"):
+                net = nets[label]
+                traffic = make_traffic(traffic_name, net.num_terminals,
+                                       rng=101)
+                sim = Simulator(net, traffic, 1.0, params,
+                                removed_links=orders[label][:count])
+                result = sim.run()
+                lost = sim.unroutable_packets / max(1, result.generated_packets)
+                row.extend([result.accepted_load, lost])
+            table.add(*row)
+            print(f"  fig12 {traffic_name} {fraction:.0%} done", flush=True)
+    table.note(f"total links -- CFT/RFC: {total} each")
+    record("fig12", table)
+    print(f"       fig12: {time.time() - t0:.0f}s", flush=True)
+
+
+def main() -> None:
+    start = time.time()
+    scenario_sweep("fig9", "intermediate-100k")
+    scenario_sweep("fig10", "maximum-200k")
+    fig12()
+    print(f"all done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

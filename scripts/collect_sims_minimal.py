@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Minimal full-scale sim collection: saturation points only.
+
+Figures 9/10: one saturation point (offered load 1.0) per traffic on
+the radix-12 scaled networks.  Figure 12: four fault fractions, two
+traffics.  Chosen to fit a single-core time budget while still pinning
+the comparisons EXPERIMENTS.md quotes.
+"""
+
+import time
+from pathlib import Path
+
+from repro.experiments.common import Table
+from repro.experiments.scenario_sim import build_networks
+from repro.faults.removal import shuffled_links
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.traffic import make_traffic
+
+OUT = Path(__file__).resolve().parent.parent / "results" / "full"
+OUT.mkdir(parents=True, exist_ok=True)
+PARAMS = SimulationParams(measure_cycles=800, warmup_cycles=250, seed=0)
+
+
+def record(name: str, table) -> None:
+    (OUT / f"{name}.txt").write_text(table.render() + "\n")
+    (OUT / f"{name}.csv").write_text(table.to_csv())
+    print(f"[done] {name}", flush=True)
+
+
+def saturation_table(name: str, scenario_name: str) -> None:
+    t0 = time.time()
+    networks = build_networks(scenario_name, quick=False, seed=0)
+    table = Table(
+        title=f"{name}: scenario {scenario_name} saturation "
+        "(offered load 1.0, radix-12 scale-down)",
+        headers=["traffic", "CFT accepted", "CFT latency",
+                 "RFC accepted", "RFC latency"],
+    )
+    table.note(
+        ", ".join(
+            f"{label}: T={net.num_terminals} ({net.name})"
+            for label, net in networks.all()
+        )
+    )
+    for traffic_name in ("uniform", "random-pairing", "fixed-random"):
+        row = [traffic_name]
+        for label, net in networks.all():
+            if label == "RFC-alt":
+                continue
+            traffic = make_traffic(traffic_name, net.num_terminals, rng=101)
+            result = simulate(net, traffic, 1.0, PARAMS)
+            row.extend([result.accepted_load, result.avg_latency])
+            print(f"  {name} {traffic_name} {label} done", flush=True)
+        table.add(*row)
+    record(name, table)
+    print(f"       {name}: {time.time() - t0:.0f}s", flush=True)
+
+
+def fig12() -> None:
+    t0 = time.time()
+    networks = build_networks("equal-resources-11k", quick=False, seed=0)
+    nets = {label: net for label, net in networks.all() if label != "RFC-alt"}
+    total = min(net.num_links for net in nets.values())
+    table = Table(
+        title="Figure 12: saturation throughput under link faults "
+        "(scenario 1, radix 12)",
+        headers=["traffic", "faults", "fault %",
+                 "CFT accepted", "CFT unroutable",
+                 "RFC accepted", "RFC unroutable"],
+    )
+    orders = {label: shuffled_links(net, rng=13) for label, net in nets.items()}
+    for traffic_name in ("uniform", "random-pairing"):
+        for fraction in (0.0, 0.05, 0.125, 0.25):
+            count = round(fraction * total)
+            row = [traffic_name, count, 100.0 * fraction]
+            for label in ("CFT", "RFC"):
+                net = nets[label]
+                traffic = make_traffic(traffic_name, net.num_terminals,
+                                       rng=101)
+                sim = Simulator(net, traffic, 1.0, PARAMS,
+                                removed_links=orders[label][:count])
+                result = sim.run()
+                lost = sim.unroutable_packets / max(
+                    1, result.generated_packets
+                )
+                row.extend([result.accepted_load, lost])
+            table.add(*row)
+            print(f"  fig12 {traffic_name} {fraction:.0%} done", flush=True)
+    table.note(f"total links -- CFT/RFC: {total} each")
+    record("fig12", table)
+    print(f"       fig12: {time.time() - t0:.0f}s", flush=True)
+
+
+def main() -> None:
+    start = time.time()
+    saturation_table("fig9", "intermediate-100k")
+    saturation_table("fig10", "maximum-200k")
+    fig12()
+    print(f"all done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""One-stop structural report for a topology.
+
+Aggregates everything this library can say about a network -- sizes,
+cost, distances, bisection, spectra, routing diversity, threshold
+position and an empirical fault budget -- into a single
+:class:`NetworkReport`.  This is what ``repro-rfc report`` prints and
+what a downstream user would reach for first when handed a wiring
+file.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .core.ancestors import has_updown_routing_of
+from .core.theory import updown_probability, x_for_radix
+from .faults.updown_survival import updown_fault_tolerance
+from .graphs.bisection import estimate_bisection_width
+from .graphs.metrics import average_distance, leaf_diameter
+from .graphs.spectral import adjacency_spectrum_gap
+from .routing.diversity import path_diversity_census
+from .topologies.base import DirectNetwork, FoldedClos
+
+__all__ = ["NetworkReport", "analyze_network"]
+
+_FAULT_TRIAL_LINK_BUDGET = 5_000  # skip the slow sweep on big graphs
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Everything worth knowing about one topology instance."""
+
+    name: str
+    kind: str
+    terminals: int
+    switches: int
+    links: int
+    ports: int
+    radix: int
+    levels: int | None
+    leaf_diameter: int | None
+    avg_distance: float
+    bisection_estimate: int
+    spectral_gap: float
+    updown_routable: bool | None
+    threshold_x: float | None
+    routable_probability: float | None
+    mean_ecmp_width: float | None
+    unique_route_fraction: float | None
+    fault_tolerance_percent: float | None
+
+    def render(self) -> str:
+        lines = [f"{self.name} ({self.kind})", "-" * 40]
+        lines.append(
+            f"size      : {self.terminals:,} terminals, "
+            f"{self.switches:,} switches, {self.links:,} links, "
+            f"{self.ports:,} ports (radix {self.radix})"
+        )
+        if self.levels is not None:
+            lines.append(f"levels    : {self.levels}")
+        if self.leaf_diameter is not None:
+            lines.append(
+                f"distances : leaf diameter {self.leaf_diameter}, "
+                f"mean {self.avg_distance:.2f}"
+            )
+        else:
+            lines.append(f"distances : mean {self.avg_distance:.2f}")
+        lines.append(
+            f"capacity  : bisection >= ~{self.bisection_estimate} links "
+            f"(estimate), spectral gap {self.spectral_gap:.3f}"
+        )
+        if self.updown_routable is not None:
+            lines.append(
+                f"routing   : up/down routable = {self.updown_routable}; "
+                f"threshold offset x = {self.threshold_x:+.2f} "
+                f"(P ~ {self.routable_probability:.3f})"
+            )
+        if self.mean_ecmp_width is not None:
+            lines.append(
+                f"diversity : mean ECMP width {self.mean_ecmp_width:.1f}, "
+                f"{self.unique_route_fraction:.0%} single-route pairs"
+            )
+        if self.fault_tolerance_percent is not None:
+            lines.append(
+                f"faults    : up/down survives ~"
+                f"{self.fault_tolerance_percent:.1f}% random link failures"
+            )
+        return "\n".join(lines)
+
+
+def analyze_network(
+    network: FoldedClos | DirectNetwork,
+    rng: random.Random | int | None = None,
+    fault_trials: int = 5,
+) -> NetworkReport:
+    """Run the full structural analysis battery on one instance.
+
+    ``fault_trials=0`` skips the (slowest) fault sweep; it is also
+    skipped automatically on networks beyond a few thousand links.
+    """
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    adjacency = network.adjacency()
+    is_clos = isinstance(network, FoldedClos)
+
+    try:
+        mean_distance = average_distance(
+            adjacency, sample=min(64, len(adjacency))
+        )
+    except ValueError:  # disconnected graph
+        mean_distance = float("inf")
+
+    if is_clos:
+        leaves = [network.switch_id(0, i) for i in range(network.num_leaves)]
+        try:
+            diameter_: int | None = leaf_diameter(adjacency, leaves)
+        except ValueError:  # disconnected leaf pairs
+            diameter_ = None
+        routable = has_updown_routing_of(network)
+        x = x_for_radix(network.radix, network.num_leaves, network.num_levels)
+        census = (
+            path_diversity_census(network, sample_pairs=150, rng=rand)
+            if routable
+            else None
+        )
+        tolerance = None
+        if (
+            routable
+            and fault_trials > 0
+            and network.num_links <= _FAULT_TRIAL_LINK_BUDGET
+        ):
+            tolerance = updown_fault_tolerance(
+                network, trials=fault_trials, rng=rand
+            ).mean_percent
+        return NetworkReport(
+            name=network.name,
+            kind="folded-clos",
+            terminals=network.num_terminals,
+            switches=network.num_switches,
+            links=network.num_links,
+            ports=network.num_ports,
+            radix=network.radix,
+            levels=network.num_levels,
+            leaf_diameter=diameter_,
+            avg_distance=mean_distance,
+            bisection_estimate=estimate_bisection_width(
+                adjacency, restarts=4, rng=rand
+            ),
+            spectral_gap=adjacency_spectrum_gap(adjacency),
+            updown_routable=routable,
+            threshold_x=x,
+            routable_probability=updown_probability(x),
+            mean_ecmp_width=census.mean_width if census else None,
+            unique_route_fraction=(
+                census.unique_route_fraction if census else None
+            ),
+            fault_tolerance_percent=tolerance,
+        )
+
+    return NetworkReport(
+        name=network.name,
+        kind="direct",
+        terminals=network.num_terminals,
+        switches=network.num_switches,
+        links=network.num_links,
+        ports=network.num_ports,
+        radix=network.radix,
+        levels=None,
+        leaf_diameter=None,
+        avg_distance=mean_distance,
+        bisection_estimate=estimate_bisection_width(
+            adjacency, restarts=4, rng=rand
+        ),
+        spectral_gap=adjacency_spectrum_gap(adjacency),
+        updown_routable=None,
+        threshold_x=None,
+        routable_probability=None,
+        mean_ecmp_width=None,
+        unique_route_fraction=None,
+        fault_tolerance_percent=None,
+    )

@@ -1,0 +1,318 @@
+"""Command-line interface: ``repro-rfc`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Build a topology (rfc / cft / oft / rrn / kary), print its summary
+    and optionally verify up/down routability.
+``analyze``
+    Structural report for an RFC: threshold offset, diameter,
+    bisection bounds, generation attempts.
+``simulate``
+    One cycle-level simulation run (topology, traffic, load).
+``experiment``
+    Regenerate a paper table/figure by id (fig5, tab3, ... or 'all').
+``scenarios``
+    Print the Section 5 cost scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rfc",
+        description=(
+            "Random Folded Clos topologies: generation, analysis, "
+            "simulation and paper-experiment reproduction (HPCA 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="build a topology and summarize it")
+    gen.add_argument(
+        "topology", choices=["rfc", "cft", "oft", "rrn", "kary"]
+    )
+    gen.add_argument("--radix", type=int, default=12)
+    gen.add_argument("--levels", type=int, default=3)
+    gen.add_argument("--leaves", type=int, default=0,
+                     help="RFC leaf switches (default: Theorem 4.2 maximum)")
+    gen.add_argument("--order", type=int, default=0,
+                     help="OFT order q (default: from radix)")
+    gen.add_argument("--switches", type=int, default=64,
+                     help="RRN switch count")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--check-updown", action="store_true")
+
+    ana = sub.add_parser("analyze", help="structural analysis of an RFC")
+    ana.add_argument("--radix", type=int, default=12)
+    ana.add_argument("--levels", type=int, default=3)
+    ana.add_argument("--leaves", type=int, default=0)
+    ana.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="one cycle-level simulation run")
+    sim.add_argument("topology", choices=["rfc", "cft"])
+    sim.add_argument("--radix", type=int, default=8)
+    sim.add_argument("--levels", type=int, default=3)
+    sim.add_argument("--leaves", type=int, default=32)
+    sim.add_argument("--traffic", default="uniform",
+                     choices=["uniform", "random-pairing", "fixed-random"])
+    sim.add_argument("--load", type=float, default=0.5)
+    sim.add_argument("--cycles", type=int, default=2_000)
+    sim.add_argument("--warmup", type=int, default=500)
+    sim.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    exp.add_argument("name", help="experiment id (fig5, tab3, ...) or 'all'")
+    exp.add_argument("--full", action="store_true",
+                     help="full-scale parameters (slow)")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--csv", metavar="DIR", default=None,
+                     help="also write <DIR>/<name>.csv per experiment")
+
+    sub.add_parser("scenarios", help="print the Section 5 cost scenarios")
+
+    rep = sub.add_parser(
+        "report", help="full structural report for a topology file"
+    )
+    rep.add_argument("path", help="topology JSON from 'export'")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--fault-trials", type=int, default=5)
+
+    div = sub.add_parser(
+        "diversity", help="path-diversity census of an RFC or CFT"
+    )
+    div.add_argument("topology", choices=["rfc", "cft", "oft"])
+    div.add_argument("--radix", type=int, default=12)
+    div.add_argument("--levels", type=int, default=3)
+    div.add_argument("--leaves", type=int, default=0)
+    div.add_argument("--pairs", type=int, default=200)
+    div.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser(
+        "export", help="generate a topology and write it to a file"
+    )
+    export.add_argument("topology", choices=["rfc", "cft", "oft", "rrn"])
+    export.add_argument("output", help="output path (.json, .dot or .edges)")
+    export.add_argument("--radix", type=int, default=12)
+    export.add_argument("--levels", type=int, default=3)
+    export.add_argument("--leaves", type=int, default=0)
+    export.add_argument("--switches", type=int, default=64)
+    export.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .core.ancestors import has_updown_routing_of
+    from .core.rfc import radix_regular_rfc
+    from .core.theory import rfc_max_leaves
+    from .topologies.fattree import commodity_fat_tree, k_ary_l_tree
+    from .topologies.oft import oft_order_for_radix, orthogonal_fat_tree
+    from .topologies.rrn import random_regular_network, rrn_degree_for
+
+    if args.topology == "rfc":
+        leaves = args.leaves or rfc_max_leaves(args.radix, args.levels)
+        topo = radix_regular_rfc(args.radix, leaves, args.levels, rng=args.seed)
+    elif args.topology == "cft":
+        topo = commodity_fat_tree(args.radix, args.levels)
+    elif args.topology == "kary":
+        topo = k_ary_l_tree(args.radix // 2, args.levels)
+    elif args.topology == "oft":
+        q = args.order or oft_order_for_radix(args.radix)
+        topo = orthogonal_fat_tree(q, args.levels)
+    else:
+        degree, hosts = rrn_degree_for(args.radix, 2 * (args.levels - 1))
+        topo = random_regular_network(args.switches, degree, hosts,
+                                      rng=args.seed)
+        print(f"{topo.name}: T={topo.num_terminals} switches="
+              f"{topo.num_switches} links={topo.num_links} "
+              f"ports={topo.num_ports}")
+        return 0
+
+    print(f"{topo.name}: T={topo.num_terminals} levels={topo.level_sizes} "
+          f"links={topo.num_links} ports={topo.num_ports} "
+          f"radix-regular={topo.is_radix_regular()}")
+    if args.check_updown:
+        from .core.ancestors import has_updown_routing_of as check
+
+        print(f"up/down routable: {check(topo)}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .core.rfc import rfc_with_updown
+    from .core.theory import (
+        rfc_max_leaves,
+        threshold_radix,
+        updown_probability,
+        x_for_radix,
+    )
+    from .graphs.bisection import rfc_normalized_bisection
+    from .graphs.metrics import leaf_diameter
+
+    leaves = args.leaves or rfc_max_leaves(args.radix, args.levels)
+    x = x_for_radix(args.radix, leaves, args.levels)
+    print(f"RFC(R={args.radix}, N1={leaves}, l={args.levels})")
+    print(f"  terminals:          {leaves * (args.radix // 2):,}")
+    print(f"  threshold radix:    {threshold_radix(leaves, args.levels):.2f}")
+    print(f"  threshold offset x: {x:+.3f}")
+    print(f"  P(up/down):         {updown_probability(x):.4f}")
+    print(f"  normalized bisection (Bollobas): "
+          f"{rfc_normalized_bisection(args.radix, args.levels):.3f}")
+    topo, attempts = rfc_with_updown(args.radix, leaves, args.levels,
+                                     rng=args.seed)
+    leaf_ids = [topo.switch_id(0, i) for i in range(topo.num_leaves)]
+    print(f"  generated in {attempts} attempt(s); leaf diameter "
+          f"{leaf_diameter(topo.adjacency(), leaf_ids)} "
+          f"(bound {2 * (args.levels - 1)})")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .core.rfc import rfc_with_updown
+    from .simulation.config import SimulationParams
+    from .simulation.engine import simulate
+    from .simulation.traffic import make_traffic
+    from .topologies.fattree import commodity_fat_tree
+
+    if args.topology == "cft":
+        topo = commodity_fat_tree(args.radix, args.levels)
+    else:
+        topo, _ = rfc_with_updown(args.radix, args.leaves, args.levels,
+                                  rng=args.seed)
+    params = SimulationParams(
+        measure_cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        seed=args.seed,
+    )
+    traffic = make_traffic(args.traffic, topo.num_terminals,
+                           rng=args.seed + 101)
+    result = simulate(topo, traffic, args.load, params)
+    print(result.row())
+    print(f"  delivered {result.delivered_packets:,} packets, "
+          f"avg hops {result.avg_hops:.2f}, "
+          f"max latency {result.max_latency}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from pathlib import Path
+
+    from .experiments import EXPERIMENTS, run_experiment
+
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        table = run_experiment(name, quick=not args.full, seed=args.seed)
+        print(table.render())
+        print()
+        if args.csv:
+            directory = Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.csv").write_text(table.to_csv())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis import analyze_network
+    from .topologies.io import load
+
+    network = load(args.path)
+    report = analyze_network(
+        network, rng=args.seed, fault_trials=args.fault_trials
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_diversity(args) -> int:
+    from .core.rfc import rfc_with_updown
+    from .core.theory import rfc_max_leaves
+    from .routing.diversity import path_diversity_census
+    from .topologies.fattree import commodity_fat_tree
+    from .topologies.oft import oft_order_for_radix, orthogonal_fat_tree
+
+    if args.topology == "rfc":
+        leaves = args.leaves or min(rfc_max_leaves(args.radix, args.levels),
+                                    200)
+        topo, _ = rfc_with_updown(args.radix, leaves - leaves % 2,
+                                  args.levels, rng=args.seed)
+    elif args.topology == "cft":
+        topo = commodity_fat_tree(args.radix, args.levels)
+    else:
+        topo = orthogonal_fat_tree(
+            oft_order_for_radix(args.radix), args.levels
+        )
+    census = path_diversity_census(topo, sample_pairs=args.pairs,
+                                   rng=args.seed)
+    print(f"{topo.name}: {census.describe()}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from pathlib import Path
+
+    from .core.rfc import rfc_with_updown
+    from .core.theory import rfc_max_leaves
+    from .topologies.fattree import commodity_fat_tree
+    from .topologies.io import save, to_dot, to_edge_list
+    from .topologies.oft import oft_order_for_radix, orthogonal_fat_tree
+    from .topologies.rrn import random_regular_network, rrn_degree_for
+
+    if args.topology == "rfc":
+        leaves = args.leaves or rfc_max_leaves(args.radix, args.levels)
+        topo, _ = rfc_with_updown(args.radix, leaves, args.levels,
+                                  rng=args.seed)
+    elif args.topology == "cft":
+        topo = commodity_fat_tree(args.radix, args.levels)
+    elif args.topology == "oft":
+        topo = orthogonal_fat_tree(
+            oft_order_for_radix(args.radix), args.levels
+        )
+    else:
+        degree, hosts = rrn_degree_for(args.radix, 2 * (args.levels - 1))
+        topo = random_regular_network(args.switches, degree, hosts,
+                                      rng=args.seed)
+    path = Path(args.output)
+    if path.suffix == ".json":
+        save(topo, path)
+    elif path.suffix == ".dot":
+        path.write_text(to_dot(topo))
+    elif path.suffix == ".edges":
+        path.write_text(to_edge_list(topo))
+    else:
+        print(f"unknown output format {path.suffix!r}; "
+              "use .json, .dot or .edges", flush=True)
+        return 2
+    print(f"wrote {topo.name} ({topo.num_links} links) to {path}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from .experiments.sec5_scenarios import run
+
+    print(run(quick=True).render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "scenarios": _cmd_scenarios,
+        "report": _cmd_report,
+        "diversity": _cmd_diversity,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: Random Folded Clos networks and their theory."""
+
+from .ancestors import (
+    common_ancestors_of,
+    has_updown_routing,
+    has_updown_routing_of,
+    updown_coverage,
+    updown_reachable_fraction,
+)
+from .expansion import (
+    ExpansionError,
+    RewiringReport,
+    expand_rfc,
+    expand_rrn,
+    strong_expansion_limit,
+    weak_expand_rfc,
+)
+from .rfc import (
+    UpDownNotFound,
+    radix_regular_rfc,
+    random_folded_clos,
+    rfc_with_updown,
+)
+from .theory import (
+    rfc_max_leaves,
+    rfc_max_terminals,
+    threshold_radix,
+    threshold_radix_simplified,
+    updown_probability,
+    x_for_radix,
+)
+
+__all__ = [
+    "radix_regular_rfc",
+    "random_folded_clos",
+    "rfc_with_updown",
+    "UpDownNotFound",
+    "has_updown_routing",
+    "has_updown_routing_of",
+    "updown_coverage",
+    "updown_reachable_fraction",
+    "common_ancestors_of",
+    "threshold_radix",
+    "threshold_radix_simplified",
+    "updown_probability",
+    "x_for_radix",
+    "rfc_max_leaves",
+    "rfc_max_terminals",
+    "expand_rfc",
+    "expand_rrn",
+    "weak_expand_rfc",
+    "strong_expansion_limit",
+    "RewiringReport",
+    "ExpansionError",
+]

@@ -1,0 +1,341 @@
+"""Incremental (strong) expansion of random topologies -- Section 5.
+
+RFCs and RRNs expand without adding levels: new switches splice into
+the random wiring by *edge breaking* (the Jellyfish technique): remove
+an existing link (a, b) and add (a, new) and (new', b), consuming one
+free port on each new switch per broken link.  The minimal RFC upgrade
+adds two switches to every level except one at the top and ``R`` new
+compute nodes (paper Section 5); this module implements that step,
+counts the rewiring it causes, and exposes the strong-expansion limit
+(Theorem 4.2 threshold) past which a level must be added (weak
+expansion).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..topologies.base import DirectNetwork, FoldedClos
+from .rfc import rfc_level_sizes
+from .theory import rfc_max_leaves
+
+__all__ = [
+    "RewiringReport",
+    "ExpansionError",
+    "expand_rfc",
+    "expand_rrn",
+    "weak_expand_rfc",
+    "strong_expansion_limit",
+]
+
+
+class ExpansionError(RuntimeError):
+    """Raised when an expansion step cannot be completed."""
+
+
+@dataclass
+class RewiringReport:
+    """Accounting of one or more expansion steps.
+
+    ``links_removed`` existing cables were unplugged and
+    ``links_added`` new cables plugged (including re-uses of the freed
+    ports); ``switches_added`` and ``terminals_added`` summarize the
+    growth.  ``rewired_fraction(total)`` is the paper's "% of the total
+    links" rewiring metric.
+    """
+
+    links_removed: int = 0
+    links_added: int = 0
+    switches_added: int = 0
+    terminals_added: int = 0
+
+    def merge(self, other: "RewiringReport") -> None:
+        self.links_removed += other.links_removed
+        self.links_added += other.links_added
+        self.switches_added += other.switches_added
+        self.terminals_added += other.terminals_added
+
+    def rewired_fraction(self, total_links: int) -> float:
+        if total_links <= 0:
+            raise ValueError("total_links must be positive")
+        return self.links_removed / total_links
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def _splice_bipartite(
+    adj1: list[set[int]],
+    adj2: list[set[int]],
+    new_left: int,
+    d1: int,
+    new_right: int,
+    d2: int,
+    rand: random.Random,
+    report: RewiringReport,
+    max_tries: int = 10_000,
+) -> None:
+    """Insert new vertices into a bipartite stage by edge breaking.
+
+    Mutates ``adj1``/``adj2`` in place: appends ``new_left`` vertices
+    needing ``d1`` links and ``new_right`` needing ``d2``.  New-new
+    links are placed directly first; the remainder breaks random old
+    links, one break serving one new-left and one new-right port.
+    """
+    if new_left * d1 != new_right * d2:
+        raise ExpansionError(
+            f"port mismatch: {new_left}x{d1} != {new_right}x{d2}"
+        )
+    n1_old, n2_old = len(adj1), len(adj2)
+    left_ids = list(range(n1_old, n1_old + new_left))
+    right_ids = list(range(n2_old, n2_old + new_right))
+    adj1.extend(set() for _ in range(new_left))
+    adj2.extend(set() for _ in range(new_right))
+    need1 = {u: d1 for u in left_ids}
+    need2 = {v: d2 for v in right_ids}
+
+    # Phase 1: direct new-new links (at most one per pair).
+    for u in left_ids:
+        for v in right_ids:
+            if need1[u] > 0 and need2[v] > 0 and v not in adj1[u]:
+                adj1[u].add(v)
+                adj2[v].add(u)
+                need1[u] -= 1
+                need2[v] -= 1
+                report.links_added += 1
+
+    # Phase 2: break old links to feed the remaining ports.
+    pending1 = [u for u in left_ids for _ in range(need1[u])]
+    pending2 = [v for v in right_ids for _ in range(need2[v])]
+    assert len(pending1) == len(pending2)
+    if not pending1:
+        return
+    old_edges = [
+        (a, b) for a in range(n1_old) for b in adj1[a] if b < n2_old
+    ]
+    if not old_edges:
+        raise ExpansionError("no existing links to splice into")
+    rand.shuffle(pending1)
+    rand.shuffle(pending2)
+    for u, v in zip(pending1, pending2):
+        for _ in range(max_tries):
+            idx = rand.randrange(len(old_edges))
+            a, b = old_edges[idx]
+            if b not in adj1[a]:
+                # Stale entry (already broken); compact lazily.
+                old_edges[idx] = old_edges[-1]
+                old_edges.pop()
+                if not old_edges:
+                    raise ExpansionError("ran out of spliceable links")
+                continue
+            if b in adj1[u] or v in adj1[a]:
+                continue
+            adj1[a].discard(b)
+            adj2[b].discard(a)
+            adj1[u].add(b)
+            adj2[b].add(u)
+            adj1[a].add(v)
+            adj2[v].add(a)
+            old_edges[idx] = old_edges[-1]
+            old_edges.pop()
+            report.links_removed += 1
+            report.links_added += 2
+            break
+        else:
+            raise ExpansionError(
+                "could not find a suitable link to break (degenerate stage)"
+            )
+
+
+def expand_rfc(
+    topo: FoldedClos,
+    steps: int = 1,
+    rng: random.Random | int | None = None,
+) -> tuple[FoldedClos, RewiringReport]:
+    """Strong-expand a radix-regular RFC by ``steps`` minimal upgrades.
+
+    Each step adds two switches per non-root level, one root switch and
+    ``R`` compute nodes (two leaves x ``R/2`` hosts), splicing them
+    into every stage with edge breaking.  The result keeps the same
+    radix and level count.  Callers should check
+    :func:`strong_expansion_limit` -- past the Theorem 4.2 threshold
+    the expanded network will stop being up/down routable.
+    """
+    if steps < 1:
+        raise ExpansionError("steps must be >= 1")
+    half = topo.radix // 2
+    levels = topo.num_levels
+    if levels < 2:
+        raise ExpansionError("cannot strong-expand a single-level network")
+    rand = _as_rng(rng)
+    report = RewiringReport()
+
+    # Mutable copies of every stage.
+    stage_left: list[list[set[int]]] = []
+    stage_right: list[list[set[int]]] = []
+    for stage in range(levels - 1):
+        left = [
+            set(topo.up_neighbors(stage, s))
+            for s in range(topo.level_sizes[stage])
+        ]
+        right = [
+            set(topo.down_neighbors(stage + 1, s))
+            for s in range(topo.level_sizes[stage + 1])
+        ]
+        stage_left.append(left)
+        stage_right.append(right)
+
+    for _ in range(steps):
+        for stage in range(levels - 1):
+            top = stage == levels - 2
+            _splice_bipartite(
+                stage_left[stage],
+                stage_right[stage],
+                new_left=2,
+                d1=half,
+                new_right=1 if top else 2,
+                d2=topo.radix if top else half,
+                rand=rand,
+                report=report,
+            )
+        report.switches_added += 2 * (levels - 1) + 1
+        report.terminals_added += topo.radix
+
+    new_sizes = [len(stage_left[0])] + [
+        len(stage_right[i]) for i in range(levels - 1)
+    ]
+    expanded = FoldedClos(
+        new_sizes,
+        stage_left,
+        hosts_per_leaf=topo.hosts_per_leaf,
+        radix=topo.radix,
+        name=f"{topo.name}+{steps}step",
+    )
+    return expanded, report
+
+
+def weak_expand_rfc(
+    topo: FoldedClos,
+    rng: random.Random | int | None = None,
+) -> tuple[FoldedClos, RewiringReport]:
+    """Weak-expand an RFC: add a level, restoring up/down headroom.
+
+    The existing roots become intermediate switches: each splits its
+    ``R`` down-links into ``R/2`` down + ``R/2`` up (which requires
+    doubling the count of old roots to keep all old down-links), and a
+    new random stage connects them to fresh roots.  In practice
+    operators rebuild the two top stages; here we model the simplest
+    variant -- regenerate the top stage at full width and add one more
+    random stage -- and count every moved cable as rewiring.
+    """
+    from ..topologies.random_graphs import random_bipartite_graph
+
+    rand = _as_rng(rng)
+    half = topo.radix // 2
+    levels = topo.num_levels
+    n1 = topo.level_sizes[0]
+    report = RewiringReport()
+
+    sizes = rfc_level_sizes(n1, levels + 1)
+    stages: list[list[set[int]]] = [
+        [set(topo.up_neighbors(stage, s)) for s in range(topo.level_sizes[stage])]
+        for stage in range(levels - 2)
+    ]
+    # Rebuild: old top stage widens (N_l doubles to N_1) ...
+    old_top_links = topo.level_sizes[-2] * half
+    widened, _ = random_bipartite_graph(sizes[levels - 2], half, sizes[levels - 1], half, rng=rand)
+    stages.append(widened)
+    # ... and a brand-new top stage caps the network.
+    new_top, _ = random_bipartite_graph(sizes[levels - 1], half, sizes[levels], topo.radix, rng=rand)
+    stages.append(new_top)
+
+    report.links_removed += old_top_links
+    report.links_added += sizes[levels - 2] * half + sizes[levels - 1] * half
+    report.switches_added = sum(sizes) - topo.num_switches
+
+    expanded = FoldedClos(
+        sizes,
+        stages,
+        hosts_per_leaf=topo.hosts_per_leaf,
+        radix=topo.radix,
+        name=f"{topo.name}+level",
+    )
+    return expanded, report
+
+
+def expand_rrn(
+    network: DirectNetwork,
+    new_switches: int,
+    rng: random.Random | int | None = None,
+    max_tries: int = 10_000,
+) -> tuple[DirectNetwork, RewiringReport]:
+    """Jellyfish-style expansion of a random regular network.
+
+    Each new switch of degree ``delta`` breaks ``delta/2`` random
+    existing links; for odd ``delta`` the spare ports of consecutive
+    new switches are paired up.
+    """
+    if new_switches < 1:
+        raise ExpansionError("new_switches must be >= 1")
+    if network.num_switches < 3:
+        raise ExpansionError("network too small to splice into")
+    rand = _as_rng(rng)
+    report = RewiringReport()
+    adj = [set(row) for row in network.adjacency()]
+    degree = len(adj[0])
+    n_old = len(adj)
+    spare: int | None = None
+    for new in range(n_old, n_old + new_switches):
+        adj.append(set())
+        need = degree
+        if degree % 2 == 1:
+            if spare is None:
+                spare = new
+            else:
+                adj[spare].add(new)
+                adj[new].add(spare)
+                report.links_added += 1
+                spare = None
+                need -= 1
+                # The earlier spare switch also consumed its odd port.
+        breaks = need // 2
+        edges = [(a, b) for a in range(len(adj)) for b in adj[a] if a < b]
+        for _ in range(breaks):
+            for _ in range(max_tries):
+                a, b = edges[rand.randrange(len(edges))]
+                if b not in adj[a]:
+                    continue
+                if a == new or b == new or new in adj[a] or new in adj[b]:
+                    continue
+                adj[a].discard(b)
+                adj[b].discard(a)
+                adj[a].add(new)
+                adj[new].add(a)
+                adj[b].add(new)
+                adj[new].add(b)
+                report.links_removed += 1
+                report.links_added += 2
+                break
+            else:
+                raise ExpansionError("could not splice new switch")
+        report.switches_added += 1
+        report.terminals_added += network.hosts_per_switch
+    if spare is not None and degree % 2 == 1:
+        # A final odd port stays free; that is fine for expansion,
+        # matching Jellyfish practice (one port awaits the next step).
+        pass
+    expanded = DirectNetwork(
+        adj,
+        hosts_per_switch=network.hosts_per_switch,
+        name=f"{network.name}+{new_switches}",
+    )
+    return expanded, report
+
+
+def strong_expansion_limit(radix: int, levels: int) -> int:
+    """Maximum leaves reachable by strong expansion (Theorem 4.2)."""
+    return rfc_max_leaves(radix, levels)

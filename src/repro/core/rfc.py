@@ -1,0 +1,231 @@
+"""Random Folded Clos (RFC) network generation -- the paper's core.
+
+An RFC keeps the level structure of a folded Clos network but draws
+each inter-level wiring stage uniformly at random from the simple
+biregular bipartite graphs with the prescribed degrees (Definition 4.1
+restricted to radix-regular instances, built per Appendix Listing 2).
+
+Main entry points:
+
+* :func:`random_folded_clos` -- fully general: any level sizes and
+  per-stage degrees.
+* :func:`radix_regular_rfc` -- the practical case studied throughout
+  the paper: radix ``R``, ``N_1`` leaves, ``l`` levels, level sizes
+  ``N_1, ..., N_1, N_1/2`` and ``R/2`` terminals per leaf.
+* :func:`rfc_with_updown` -- retry :func:`radix_regular_rfc` until the
+  sample is up/down routable.  Near the Theorem 4.2 threshold the
+  success probability is ``1/e``, so about three attempts are expected
+  (tested); far above it the first sample virtually always works.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..topologies.base import FoldedClos, NetworkError
+from ..topologies.random_graphs import GenerationError, random_bipartite_graph
+from .ancestors import has_updown_routing_of
+
+__all__ = [
+    "random_folded_clos",
+    "radix_regular_rfc",
+    "rfc_with_updown",
+    "random_k_ary_tree",
+    "hashnet",
+    "UpDownNotFound",
+    "rfc_level_sizes",
+    "rfc_switches",
+    "rfc_wires",
+]
+
+
+class UpDownNotFound(RuntimeError):
+    """Raised when no up/down routable RFC is found within the budget."""
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def random_folded_clos(
+    level_sizes: Sequence[int],
+    up_degrees: Sequence[int],
+    hosts_per_leaf: int,
+    radix: int | None = None,
+    rng: random.Random | int | None = None,
+    name: str | None = None,
+) -> FoldedClos:
+    """Draw an RFC with arbitrary level sizes and per-stage up-degrees.
+
+    ``up_degrees[i]`` is the number of up-links of every level-``i``
+    switch (0-based); the matching down-degree of level ``i+1`` is
+    derived from the level sizes and must be integral.
+    """
+    if len(up_degrees) != len(level_sizes) - 1:
+        raise NetworkError("need one up-degree per stage")
+    rand = _as_rng(rng)
+    stages: list[list[set[int]]] = []
+    max_ports = [0] * len(level_sizes)
+    for i, d1 in enumerate(up_degrees):
+        n1, n2 = level_sizes[i], level_sizes[i + 1]
+        total = n1 * d1
+        if total % n2 != 0:
+            raise NetworkError(
+                f"stage {i}: {n1} x {d1} up-links do not divide evenly "
+                f"over {n2} upper switches"
+            )
+        d2 = total // n2
+        adj1, _ = random_bipartite_graph(n1, d1, n2, d2, rng=rand)
+        stages.append(adj1)
+        max_ports[i] += d1
+        max_ports[i + 1] += d2
+    max_ports[0] += hosts_per_leaf
+    topo = FoldedClos(
+        level_sizes,
+        stages,
+        hosts_per_leaf=hosts_per_leaf,
+        radix=radix if radix is not None else max(max_ports),
+        name=name or f"RFC(levels={list(level_sizes)})",
+    )
+    return topo
+
+
+def rfc_level_sizes(n1: int, levels: int) -> list[int]:
+    """Level sizes of a radix-regular RFC: ``N_1`` everywhere, half roots."""
+    if levels < 2:
+        raise NetworkError(f"an RFC needs at least 2 levels, got {levels}")
+    if n1 < 2 or n1 % 2 != 0:
+        raise NetworkError(f"N_1 must be even and >= 2, got {n1}")
+    return [n1] * (levels - 1) + [n1 // 2]
+
+
+def radix_regular_rfc(
+    radix: int,
+    n1: int,
+    levels: int,
+    rng: random.Random | int | None = None,
+) -> FoldedClos:
+    """Draw the radix-regular RFC of Figure 4.
+
+    ``R/2`` terminals per leaf; every non-root switch has ``R/2``
+    up-links and ``R/2`` down-links, roots have ``R`` down-links.
+    """
+    if radix < 4 or radix % 2 != 0:
+        raise NetworkError(f"radix must be even and >= 4, got {radix}")
+    half = radix // 2
+    sizes = rfc_level_sizes(n1, levels)
+    if half > sizes[-1]:
+        raise NetworkError(
+            f"radix {radix} too large: top stage needs R/2 <= N_l = {sizes[-1]}"
+        )
+    topo = random_folded_clos(
+        sizes,
+        up_degrees=[half] * (levels - 1),
+        hosts_per_leaf=half,
+        radix=radix,
+        rng=rng,
+        name=f"RFC(R={radix}, N1={n1}, l={levels})",
+    )
+    return topo
+
+
+def rfc_with_updown(
+    radix: int,
+    n1: int,
+    levels: int,
+    rng: random.Random | int | None = None,
+    max_attempts: int = 64,
+) -> tuple[FoldedClos, int]:
+    """Sample radix-regular RFCs until one is up/down routable.
+
+    Returns ``(topology, attempts)``.  Raises :class:`UpDownNotFound`
+    after ``max_attempts`` failures -- which, per Theorem 4.2, signals
+    parameters well below the threshold radix rather than bad luck.
+    """
+    rand = _as_rng(rng)
+    for attempt in range(1, max_attempts + 1):
+        try:
+            topo = radix_regular_rfc(radix, n1, levels, rng=rand)
+        except GenerationError as exc:
+            raise UpDownNotFound(
+                f"cannot even generate RFC(R={radix}, N1={n1}, l={levels}): {exc}"
+            ) from exc
+        if has_updown_routing_of(topo):
+            return topo, attempt
+    raise UpDownNotFound(
+        f"no up/down routable RFC(R={radix}, N1={n1}, l={levels}) in "
+        f"{max_attempts} attempts; radix is likely below the Theorem 4.2 "
+        "threshold"
+    )
+
+
+def random_k_ary_tree(
+    k: int,
+    levels: int,
+    rng: random.Random | int | None = None,
+) -> FoldedClos:
+    """A *random* k-ary l-tree (paper Section 4, after Definition 4.1).
+
+    Same level structure as the deterministic k-ary l-tree of Petrini
+    and Vanneschi -- ``k^(l-1)`` switches at every level, ``k``
+    terminals per leaf, radix ``2k`` -- but with random inter-level
+    wiring.  This is essentially the construction of Bassalygo-Pinsker
+    and Upfal's splitter networks.
+    """
+    if k < 2:
+        raise NetworkError(f"need k >= 2, got {k}")
+    if levels < 2:
+        raise NetworkError(f"need at least 2 levels, got {levels}")
+    n = k ** (levels - 1)
+    return random_folded_clos(
+        [n] * levels,
+        up_degrees=[k] * (levels - 1),
+        hosts_per_leaf=k,
+        radix=2 * k,
+        rng=rng,
+        name=f"random {k}-ary {levels}-tree",
+    )
+
+
+def hashnet(
+    num_switches: int,
+    degree: int,
+    levels: int,
+    rng: random.Random | int | None = None,
+) -> FoldedClos:
+    """Fahlman's Hashnet as a folded Clos (paper Section 4).
+
+    The Hashnet interconnection scheme is the *unfolding* of an RFC
+    whose levels all have the same switch count; this returns that
+    folded form -- ``num_switches`` switches per level, ``degree``
+    up-links each, ``degree`` terminals per leaf.
+    """
+    if num_switches < 2:
+        raise NetworkError("need at least 2 switches per level")
+    if not 1 <= degree <= num_switches:
+        raise NetworkError(
+            f"degree {degree} infeasible for {num_switches} switches"
+        )
+    if levels < 2:
+        raise NetworkError(f"need at least 2 levels, got {levels}")
+    return random_folded_clos(
+        [num_switches] * levels,
+        up_degrees=[degree] * (levels - 1),
+        hosts_per_leaf=degree,
+        radix=2 * degree,
+        rng=rng,
+        name=f"hashnet(N={num_switches}, d={degree}, l={levels})",
+    )
+
+
+def rfc_switches(n1: int, levels: int) -> int:
+    """Total switches of the radix-regular RFC."""
+    return sum(rfc_level_sizes(n1, levels))
+
+
+def rfc_wires(n1: int, radix: int, levels: int) -> int:
+    """Switch-to-switch cables: ``(l-1) * N_1 * R/2``."""
+    return (levels - 1) * n1 * (radix // 2)

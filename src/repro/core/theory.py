@@ -1,0 +1,213 @@
+"""Closed-form results of the paper: Theorem 4.2 and Section 4.2/4.3.
+
+This module is the analytic backbone of the Figure 5 (diameter),
+Figure 6 (scalability) and Figure 7 (expandability) reproductions:
+
+* the sharp **up/down routability threshold** of Theorem 4.2 --
+  ``R/2 = (N_l (ln C(N_1, 2) + x))^(1 / (2(l-1)))`` with success
+  probability tending to ``exp(-exp(-x))``;
+* its simplified form ``R = 2 (N_1 ln N_1)^(1 / (2(l-1)))`` used for
+  sizing throughout the paper;
+* maximum network sizes at a given radix/diameter for RFC, CFT, OFT and
+  RRN (Section 4.3 formulas).
+
+Everything here is arithmetic -- no topology is instantiated -- so the
+functions run at any paper scale instantly and are cross-validated
+against generated instances in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..topologies.fattree import cft_terminals
+from ..topologies.oft import oft_order_for_radix, oft_terminals
+from ..topologies.rrn import (  # noqa: F401 - re-exported helpers
+    rrn_balanced_hosts,
+    rrn_degree_for,
+    rrn_switches_for_diameter,
+)
+
+__all__ = [
+    "binom2",
+    "updown_probability",
+    "threshold_radix",
+    "threshold_radix_simplified",
+    "x_for_radix",
+    "rfc_max_leaves",
+    "rfc_max_terminals",
+    "rfc_diameter",
+    "cft_diameter",
+    "oft_diameter",
+    "rrn_diameter",
+    "rrn_max_terminals",
+    "scalability_point",
+]
+
+MAX_LEVELS = 16
+
+
+def binom2(n: int) -> int:
+    """``C(n, 2)`` -- leaf pairs."""
+    return n * (n - 1) // 2
+
+
+def updown_probability(x: float) -> float:
+    """Limit probability of up/down routability at threshold offset ``x``.
+
+    Theorem 4.2: ``P -> exp(-exp(-x))``; ``x = 0`` gives ``1/e``.
+    """
+    return math.exp(-math.exp(-x))
+
+
+def threshold_radix(n1: int, levels: int, x: float = 0.0) -> float:
+    """Exact Theorem 4.2 threshold radix for a radix-regular RFC.
+
+    ``R = 2 (N_l (ln C(N_1, 2) + x))^(1 / (2(l-1)))`` with
+    ``N_l = N_1 / 2``.
+    """
+    if levels < 2:
+        raise ValueError("threshold needs at least 2 levels")
+    if n1 < 2:
+        raise ValueError("need at least two leaves")
+    n_top = n1 / 2.0
+    body = n_top * (math.log(binom2(n1)) + x)
+    if body <= 0:
+        raise ValueError(f"offset x={x} pushes the threshold below zero")
+    return 2.0 * body ** (1.0 / (2 * (levels - 1)))
+
+
+def threshold_radix_simplified(n1: int, levels: int) -> float:
+    """The paper's simplified threshold ``2 (N_1 ln N_1)^(1/(2(l-1)))``."""
+    if levels < 2:
+        raise ValueError("threshold needs at least 2 levels")
+    if n1 < 2:
+        raise ValueError("need at least two leaves")
+    return 2.0 * (n1 * math.log(n1)) ** (1.0 / (2 * (levels - 1)))
+
+
+def x_for_radix(radix: float, n1: int, levels: int) -> float:
+    """Invert :func:`threshold_radix`: offset ``x`` realized by ``radix``.
+
+    Positive ``x`` means slack above the threshold (routability
+    probability near 1), negative means below (near 0).
+    """
+    n_top = n1 / 2.0
+    return (radix / 2.0) ** (2 * (levels - 1)) / n_top - math.log(binom2(n1))
+
+
+def rfc_max_leaves(radix: int, levels: int) -> int:
+    """Largest even ``N_1`` at the simplified threshold.
+
+    Solves ``N_1 ln N_1 <= (R/2)^(2(l-1))`` by bisection; e.g.
+    ``rfc_max_leaves(36, 3)`` is slightly above 11,254 (paper §4.2).
+    """
+    half = radix / 2.0
+    target = half ** (2 * (levels - 1))
+    if 2 * math.log(2) > target:
+        return 0
+    lo, hi = 2, 4
+    while hi * math.log(hi) <= target:
+        hi *= 2
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if mid * math.log(mid) <= target:
+            lo = mid
+        else:
+            hi = mid - 1
+    # Round *up* to even: the threshold is "slightly above" the real
+    # solution (paper: N1 ~ 11,254 for R=36, l=3, where the floor is
+    # 11,253).
+    return lo + (lo % 2)
+
+
+def rfc_max_terminals(radix: int, levels: int) -> int:
+    """Compute-node capacity at the threshold: ``N_1 * R/2``."""
+    return rfc_max_leaves(radix, levels) * (radix // 2)
+
+
+# ----------------------------------------------------------------------
+# Minimum achievable diameter at a given size (Figure 5 curves)
+# ----------------------------------------------------------------------
+
+def rfc_diameter(radix: int, terminals: int) -> int:
+    """Smallest diameter ``2(l-1)`` of an up/down routable RFC.
+
+    The RFC with ``l`` levels holds up to
+    :func:`rfc_max_terminals(radix, l)` compute nodes.
+    """
+    if terminals <= radix:
+        return 2  # a 2-level RFC handles trivially small networks too
+    for levels in range(2, MAX_LEVELS):
+        if rfc_max_terminals(radix, levels) >= terminals:
+            return 2 * (levels - 1)
+    raise ValueError(f"radix {radix} cannot reach {terminals} terminals")
+
+
+def cft_diameter(radix: int, terminals: int) -> int:
+    """Smallest diameter of a ``radix``-CFT with ``terminals`` nodes."""
+    if terminals <= radix:
+        return 0 if terminals <= radix else 2
+    for levels in range(1, MAX_LEVELS):
+        if cft_terminals(radix, levels) >= terminals:
+            return 2 * (levels - 1)
+    raise ValueError(f"radix {radix} cannot reach {terminals} terminals")
+
+
+def oft_diameter(radix: int, terminals: int) -> int:
+    """Smallest diameter of an OFT built from radix-``radix`` switches."""
+    q = oft_order_for_radix(radix)
+    for levels in range(2, MAX_LEVELS):
+        if oft_terminals(q, levels) >= terminals:
+            return 2 * (levels - 1)
+    raise ValueError(f"radix {radix} cannot reach {terminals} terminals")
+
+
+def rrn_diameter(radix: int, terminals: int) -> int:
+    """Smallest diameter of a balanced RRN on radix-``radix`` switches.
+
+    For each candidate diameter the radix is split into network/terminal
+    ports per Section 4.3 and the maximal switch count checked against
+    ``delta^D >= 2 N ln N``.
+    """
+    for diameter_ in range(1, 2 * MAX_LEVELS):
+        if rrn_max_terminals(radix, diameter_) >= terminals:
+            return diameter_
+    raise ValueError(f"radix {radix} cannot reach {terminals} terminals")
+
+
+def rrn_max_terminals(radix: int, diameter_: int) -> int:
+    """Capacity of the balanced RRN at (radix, diameter)."""
+    degree, hosts = rrn_degree_for(radix, diameter_)
+    if degree < 3:
+        return hosts + 1
+    n = rrn_switches_for_diameter(degree, diameter_)
+    return n * hosts
+
+
+def scalability_point(topology: str, radix: int, levels: int) -> int:
+    """Capacity T for a (topology, radix, levels) triple -- Figure 6.
+
+    ``topology`` is one of ``cft``, ``rfc``, ``oft``, ``rrn``; levels
+    map to diameter ``2(l-1)`` (for RRN the equivalent diameter is
+    used).
+    """
+    kind = topology.lower()
+    if kind == "cft":
+        return cft_terminals(radix, levels)
+    if kind == "rfc":
+        return rfc_max_terminals(radix, levels)
+    if kind == "oft":
+        q = oft_order_for_radix(radix)
+        return oft_terminals(q, levels)
+    if kind == "rrn":
+        diameter_ = 2 * (levels - 1)
+        if diameter_ < 1:
+            raise ValueError("RRN needs diameter >= 1")
+        return rrn_max_terminals(radix, diameter_)
+    raise ValueError(f"unknown topology kind {topology!r}")
+
+
+def expected_attempts(x: float) -> float:
+    """Expected RFC generations until an up/down routable one (1/P)."""
+    return 1.0 / updown_probability(x)

@@ -1,0 +1,27 @@
+"""Cost accounting and deployment scenarios."""
+
+from .model import (
+    CostPoint,
+    cft_cost,
+    expandability_curve,
+    oft_cost,
+    rfc_cost,
+    rrn_cost,
+)
+from .pricing import PriceModel, max_rfc_saving
+from .scenarios import SCENARIOS, Scenario, scenario, scenario_names
+
+__all__ = [
+    "CostPoint",
+    "cft_cost",
+    "rfc_cost",
+    "oft_cost",
+    "rrn_cost",
+    "expandability_curve",
+    "PriceModel",
+    "max_rfc_saving",
+    "Scenario",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,184 @@
+"""Port/switch/wire cost accounting (paper Sections 5 and 6).
+
+The paper's coarse-grain cost measure is the **total number of ports**
+(Figure 7's ordinate): every switch-to-switch wire consumes two ports
+and every compute node one.  :class:`CostPoint` captures one deployment
+and the ``*_cost`` constructors compute the closed-form counts for each
+topology family without instantiating graphs, so curves can be swept to
+hundreds of thousands of terminals instantly.
+
+:func:`expandability_curve` reproduces Figure 7: ports as a function of
+connected compute nodes, stepping when a topology is forced to add a
+level (weak expansion) and growing linearly for the random topologies
+(strong expansion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.theory import rfc_max_leaves, rfc_max_terminals
+from ..topologies.fattree import cft_terminals, cft_switches, cft_wires
+from ..topologies.oft import (
+    oft_order_for_radix,
+    oft_switches,
+    oft_terminals,
+    oft_wires,
+)
+from ..topologies.rrn import rrn_degree_for
+
+__all__ = [
+    "CostPoint",
+    "cft_cost",
+    "rfc_cost",
+    "oft_cost",
+    "rrn_cost",
+    "expandability_curve",
+]
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One deployment's headline numbers."""
+
+    topology: str
+    radix: int
+    levels: int
+    terminals: int
+    switches: int
+    wires: int
+
+    @property
+    def ports(self) -> int:
+        """Total ports: two per wire plus one per compute node."""
+        return 2 * self.wires + self.terminals
+
+    @property
+    def ports_per_terminal(self) -> float:
+        return self.ports / self.terminals if self.terminals else math.inf
+
+    def savings_vs(self, other: "CostPoint") -> dict[str, float]:
+        """Fractional savings of ``self`` relative to ``other``."""
+        return {
+            "switches": 1.0 - self.switches / other.switches,
+            "wires": 1.0 - self.wires / other.wires,
+            "ports": 1.0 - self.ports / other.ports,
+        }
+
+
+def cft_cost(radix: int, levels: int) -> CostPoint:
+    """Fully-equipped R-commodity fat-tree."""
+    return CostPoint(
+        topology="CFT",
+        radix=radix,
+        levels=levels,
+        terminals=cft_terminals(radix, levels),
+        switches=cft_switches(radix, levels),
+        wires=cft_wires(radix, levels),
+    )
+
+
+def rfc_cost(radix: int, n1: int, levels: int) -> CostPoint:
+    """Radix-regular RFC with ``n1`` leaf switches."""
+    if n1 % 2:
+        raise ValueError("RFC leaf count must be even")
+    half = radix // 2
+    switches = n1 * (levels - 1) + n1 // 2
+    wires = (levels - 1) * n1 * half
+    return CostPoint(
+        topology="RFC",
+        radix=radix,
+        levels=levels,
+        terminals=n1 * half,
+        switches=switches,
+        wires=wires,
+    )
+
+
+def oft_cost(q: int, levels: int) -> CostPoint:
+    """Orthogonal fat-tree of order ``q``."""
+    return CostPoint(
+        topology="OFT",
+        radix=2 * (q + 1),
+        levels=levels,
+        terminals=oft_terminals(q, levels),
+        switches=oft_switches(q, levels),
+        wires=oft_wires(q, levels),
+    )
+
+
+def rrn_cost(num_switches: int, degree: int, hosts: int) -> CostPoint:
+    """Random regular network (direct; 'levels' reported as 1)."""
+    return CostPoint(
+        topology="RRN",
+        radix=degree + hosts,
+        levels=1,
+        terminals=num_switches * hosts,
+        switches=num_switches,
+        wires=num_switches * degree // 2,
+    )
+
+
+def _rfc_levels_for(radix: int, n1: int, max_levels: int = 12) -> int:
+    """Fewest levels keeping ``n1`` leaves under the Theorem 4.2 cap."""
+    for levels in range(2, max_levels):
+        if rfc_max_leaves(radix, levels) >= n1:
+            return levels
+    raise ValueError(f"radix {radix} cannot reach {n1} leaves")
+
+
+def expandability_curve(
+    topology: str,
+    radix: int,
+    terminal_counts: list[int],
+) -> list[CostPoint]:
+    """Ports-vs-terminals deployment curve (Figure 7).
+
+    For the deterministic topologies (CFT, OFT) the deployment at ``T``
+    terminals is the smallest fully-equipped instance with capacity at
+    least ``T`` (partially populated with ``T`` compute nodes) -- hence
+    the step function.  RFC deployments grow by the minimal strong
+    expansion (leaf pairs), stepping a level only at the Theorem 4.2
+    limit; RRNs grow one switch at a time with the Section 4.3 balanced
+    port split for diameter 4.
+    """
+    kind = topology.lower()
+    points: list[CostPoint] = []
+    for terminals in terminal_counts:
+        if kind == "cft":
+            levels = 1
+            while cft_terminals(radix, levels) < terminals:
+                levels += 1
+            base = cft_cost(radix, levels)
+            point = CostPoint(
+                "CFT", radix, levels, terminals, base.switches, base.wires
+            )
+        elif kind == "oft":
+            q = oft_order_for_radix(radix)
+            levels = 2
+            while oft_terminals(q, levels) < terminals:
+                levels += 1
+            base = oft_cost(q, levels)
+            point = CostPoint(
+                "OFT", base.radix, levels, terminals, base.switches, base.wires
+            )
+        elif kind == "rfc":
+            half = radix // 2
+            n1 = 2 * math.ceil(terminals / (2 * half))
+            levels = _rfc_levels_for(radix, n1)
+            base = rfc_cost(radix, n1, levels)
+            point = CostPoint(
+                "RFC", radix, levels, terminals, base.switches, base.wires
+            )
+        elif kind == "rrn":
+            degree, hosts = rrn_degree_for(radix, 4)
+            switches = math.ceil(terminals / hosts)
+            base = rrn_cost(switches, degree, hosts)
+            point = CostPoint(
+                "RRN", radix, 1, terminals, base.switches, base.wires
+            )
+        else:
+            raise ValueError(f"unknown topology kind {topology!r}")
+        points.append(point)
+    return points

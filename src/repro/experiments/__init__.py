@@ -1,0 +1,55 @@
+"""Experiment registry: one module per paper table/figure.
+
+``EXPERIMENTS`` maps experiment ids (as used by the CLI and the
+benchmark suite) to ``run(quick, seed) -> Table`` callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .common import Table
+from . import (
+    fig5_diameter,
+    fig6_scalability,
+    fig7_expandability,
+    fig8_scenario1,
+    fig9_scenario2,
+    fig10_scenario3,
+    fig11_updown_faults,
+    fig12_faulty_throughput,
+    sec42_bisection,
+    sec5_scenarios,
+    table3_disconnect,
+    thm42_threshold,
+    thm91_generation,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "Table"]
+
+EXPERIMENTS: dict[str, Callable[..., Table]] = {
+    "thm42": thm42_threshold.run,
+    "fig5": fig5_diameter.run,
+    "fig6": fig6_scalability.run,
+    "fig7": fig7_expandability.run,
+    "tab3": table3_disconnect.run,
+    "fig8": fig8_scenario1.run,
+    "fig9": fig9_scenario2.run,
+    "fig10": fig10_scenario3.run,
+    "fig11": fig11_updown_faults.run,
+    "fig12": fig12_faulty_throughput.run,
+    "sec42": sec42_bisection.run,
+    "sec5": sec5_scenarios.run,
+    "thm91": thm91_generation.run,
+}
+
+
+def run_experiment(name: str, quick: bool = True, seed: int = 0) -> Table:
+    """Run one experiment by id (see ``EXPERIMENTS`` for the list)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick, seed=seed)

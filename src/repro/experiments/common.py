@@ -1,0 +1,99 @@
+"""Shared plumbing for the per-figure/per-table experiment modules.
+
+Every experiment module exposes ``run(quick=True, seed=0) -> Table``:
+``quick`` selects a laptop-friendly parameter set (used by the
+benchmark suite and CI), while ``quick=False`` runs the full-scale
+version recorded in EXPERIMENTS.md.  A :class:`Table` is a plain
+header+rows container that formats itself like the paper's artifact
+so outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Compact human formatting for heterogeneous table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of experiment results."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        self.rows.append(list(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (headers + raw values).
+
+        Notes are emitted as ``#``-prefixed trailer lines so the data
+        block stays machine-readable.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+        for note in self.notes:
+            buffer.write(f"# {note}\n")
+        return buffer.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,21 @@
+"""Figure 10: scenario 3 -- maximum expansion.
+
+The largest 3-level RFC (at its Theorem 4.2 limit) against the fully
+equipped 4-level CFT.  Expected shape: uniform parity with an RFC
+latency advantage; the widest random-pairing gap of the three
+scenarios (paper: ~22% below the small-scenario RFC); fixed-random
+parity.
+"""
+
+from __future__ import annotations
+
+from .common import Table
+from .scenario_sim import run_scenario
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    table = run_scenario("maximum-200k", quick=quick, seed=seed)
+    table.title = "Figure 10: " + table.title
+    return table

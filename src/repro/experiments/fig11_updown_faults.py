@@ -1,0 +1,85 @@
+"""Figure 11: link failures tolerated while keeping up/down routing.
+
+For radix-12 switches, RFCs of 2/3/4 levels are generated across a
+range of sizes and subjected to random failure orders; each point
+reports the mean fraction of links that can fail before some leaf pair
+loses its last common ancestor.  CFT and OFT instances of the same
+radix appear as isolated points.
+
+Expected shape (asserted in tests): tolerance shrinks as the RFC
+approaches its Theorem 4.2 size limit (radix slack is what buys fault
+tolerance); CFT points sit below the equally-sized RFC curve; 2-level
+OFT tolerance is exactly zero (any single failure kills a unique
+path).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.rfc import rfc_with_updown
+from ..core.theory import rfc_max_leaves
+from ..faults.updown_survival import updown_fault_tolerance
+from ..topologies.fattree import commodity_fat_tree
+from ..topologies.oft import orthogonal_fat_tree
+from .common import Table
+
+__all__ = ["run"]
+
+DEFAULT_RADIX = 12
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    radix = DEFAULT_RADIX
+    rng = random.Random(seed)
+    if quick:
+        level_fractions = {2: (1.0,), 3: (0.2, 0.5, 0.8)}
+        trials = 6
+        cft_levels = (2, 3)
+        oft_specs = ((5, 2),)
+    else:
+        level_fractions = {
+            2: (1.0,),
+            3: (0.2, 0.4, 0.6, 0.8, 0.95),
+            4: (0.05, 0.1),
+        }
+        trials = 15
+        cft_levels = (2, 3, 4)
+        oft_specs = ((5, 2), (5, 3))
+
+    table = Table(
+        title=f"Figure 11: up/down-preserving fault tolerance (radix {radix})",
+        headers=["topology", "levels", "terminals", "links", "tolerated %"],
+    )
+    for levels, fractions in level_fractions.items():
+        cap = rfc_max_leaves(radix, levels)
+        for fraction in fractions:
+            n1 = max(radix, int(cap * fraction)) & ~1
+            if n1 < radix:
+                continue
+            topo, _ = rfc_with_updown(radix, n1, levels, rng=rng)
+            survival = updown_fault_tolerance(topo, trials=trials, rng=rng)
+            table.add(
+                "RFC", levels, topo.num_terminals, topo.num_links,
+                survival.mean_percent,
+            )
+    for levels in cft_levels:
+        cft = commodity_fat_tree(radix, levels)
+        survival = updown_fault_tolerance(cft, trials=trials, rng=rng)
+        table.add(
+            "CFT", levels, cft.num_terminals, cft.num_links,
+            survival.mean_percent,
+        )
+    for q, levels in oft_specs:
+        oft = orthogonal_fat_tree(q, levels)
+        survival = updown_fault_tolerance(oft, trials=max(2, trials // 3), rng=rng)
+        table.add(
+            "OFT", levels, oft.num_terminals, oft.num_links,
+            survival.mean_percent,
+        )
+    table.note(
+        "RFC tolerance falls toward 0 as size approaches the Theorem 4.2 "
+        "cap; CFTs sit below equally-sized RFCs; the 2-level OFT "
+        "tolerates no failure at all."
+    )
+    return table

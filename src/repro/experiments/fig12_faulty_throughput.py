@@ -1,0 +1,94 @@
+"""Figure 12: saturation throughput as links fail (scenario 1).
+
+The scenario-1 CFT and RFC (equal resources) lose randomly chosen
+links in increasing batches; for each fault count the simulator
+measures accepted load at offered load 1.0 under the three traffics.
+Packets whose leaf pair has lost every up/down route are dropped and
+reported -- under uniform traffic a single such pair marks the network
+blocked (the paper's observation for why uniform tolerates fewer
+faults than pairing/fixed-random).
+
+Expected shape: both degrade smoothly; the initial CFT edge vanishes
+and reverses at roughly 10-15% faults.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..faults.removal import shuffled_links
+from ..simulation.config import SimulationParams
+from ..simulation.engine import Simulator
+from ..simulation.traffic import TRAFFIC_NAMES, make_traffic
+from .common import Table
+from .scenario_sim import build_networks
+
+__all__ = ["run", "faulty_saturation"]
+
+
+def faulty_saturation(
+    net,
+    traffic_name: str,
+    fault_counts: list[int],
+    params: SimulationParams,
+    seed: int = 0,
+) -> list[tuple[int, float, float]]:
+    """(faults, accepted, unroutable fraction) along one failure order."""
+    order = shuffled_links(net, rng=seed + 13)
+    rows = []
+    for count in fault_counts:
+        traffic = make_traffic(traffic_name, net.num_terminals, rng=seed + 101)
+        sim = Simulator(
+            net, traffic, 1.0, params, removed_links=order[:count]
+        )
+        result = sim.run()
+        lost = sim.unroutable_packets / max(1, result.generated_packets)
+        rows.append((count, result.accepted_load, lost))
+    return rows
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    networks = build_networks("equal-resources-11k", quick=quick, seed=seed)
+    params = SimulationParams(
+        measure_cycles=800 if quick else 2_000,
+        warmup_cycles=300 if quick else 600,
+        seed=seed,
+    )
+    table = Table(
+        title="Figure 12: saturation throughput under link faults "
+        "(scenario 1)",
+        headers=[
+            "traffic", "faults", "fault %",
+            "CFT accepted", "CFT unroutable",
+            "RFC accepted", "RFC unroutable",
+        ],
+    )
+    total = {label: net.num_links for label, net in networks.all()}
+    fractions = (
+        (0.0, 0.05, 0.125, 0.25)
+        if quick
+        else (0.0, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2, 0.25)
+    )
+    fault_counts = [round(f * min(total.values())) for f in fractions]
+    traffics = TRAFFIC_NAMES if not quick else ("uniform", "random-pairing")
+    per_net: dict[str, dict[str, list]] = {}
+    for label, net in networks.all():
+        if label == "RFC-alt":
+            continue
+        per_net[label] = {
+            name: faulty_saturation(net, name, fault_counts, params, seed)
+            for name in traffics
+        }
+    for name in traffics:
+        for i, count in enumerate(fault_counts):
+            cft_row = per_net["CFT"][name][i]
+            rfc_row = per_net["RFC"][name][i]
+            table.add(
+                name, count, 100.0 * count / min(total.values()),
+                cft_row[1], cft_row[2], rfc_row[1], rfc_row[2],
+            )
+    table.note(
+        f"total links -- "
+        + ", ".join(f"{k}: {v}" for k, v in total.items())
+    )
+    return table

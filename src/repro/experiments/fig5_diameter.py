@@ -1,0 +1,76 @@
+"""Figure 5: diameter versus compute nodes for radix-36 switches.
+
+Analytic curves: smallest achievable diameter for each topology family
+at a given terminal count (RFC diameters are even; RRN admits odd
+ones).  The expected ordering -- OFT best, then RFC close to RRN, CFT
+worst -- is asserted by the tests.
+
+The empirical half of the experiment cross-validates the analytic RFC
+curve at small scale: it generates RFC instances at (and just past) the
+Theorem 4.2 size limit and measures the actual leaf-to-leaf diameter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.rfc import rfc_with_updown
+from ..core.theory import (
+    cft_diameter,
+    oft_diameter,
+    rfc_diameter,
+    rfc_max_terminals,
+    rrn_diameter,
+)
+from ..graphs.metrics import leaf_diameter
+from .common import Table
+
+__all__ = ["run", "empirical_check"]
+
+DEFAULT_RADIX = 36
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    radix = DEFAULT_RADIX
+    terminal_counts = [
+        100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
+        1_000_000, 3_000_000, 10_000_000,
+    ]
+    table = Table(
+        title=f"Figure 5: diameter vs compute nodes (radix {radix})",
+        headers=["terminals", "D(RRN)", "D(RFC)", "D(CFT)", "D(OFT)"],
+    )
+    for terminals in terminal_counts:
+        table.add(
+            terminals,
+            rrn_diameter(radix, terminals),
+            rfc_diameter(radix, terminals),
+            cft_diameter(radix, terminals),
+            oft_diameter(radix, terminals),
+        )
+    table.note(
+        "Diameter-4 capacity at radix 36: RFC "
+        f"{rfc_max_terminals(radix, 3):,} terminals (paper: ~202,554)."
+    )
+    if quick:
+        check = empirical_check(radix=10, levels=2, seed=seed)
+        table.note(check)
+    return table
+
+
+def empirical_check(radix: int, levels: int, seed: int = 0) -> str:
+    """Generate an RFC at the size limit; verify diameter = 2(l-1)."""
+    from ..core.theory import rfc_max_leaves
+
+    n1 = rfc_max_leaves(radix, levels)
+    topo, attempts = rfc_with_updown(
+        radix, n1, levels, rng=random.Random(seed), max_attempts=128
+    )
+    measured = leaf_diameter(
+        topo.adjacency(), [topo.switch_id(0, i) for i in range(n1)]
+    )
+    return (
+        f"empirical: RFC(R={radix}, N1={n1}, l={levels}) generated in "
+        f"{attempts} attempts has leaf diameter {measured} "
+        f"(theory: {2 * (levels - 1)})"
+    )

@@ -1,0 +1,41 @@
+"""Figure 6: scalability -- compute nodes versus switch radix.
+
+One curve per (topology, level count) pair for levels 2, 3 and 4,
+reproducing Section 4.3's closed forms.  Expected shape (asserted in
+tests): OFT scales best (an l-level OFT at least matches the
+(l+1)-level CFT), RFC sits close to the RRN of equal diameter and far
+above the CFT.
+"""
+
+from __future__ import annotations
+
+from ..core.theory import scalability_point
+from .common import Table
+
+__all__ = ["run"]
+
+TOPOLOGIES = ("cft", "rfc", "rrn", "oft")
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    radii = (8, 12, 16, 24, 36, 48, 64) if quick else tuple(range(8, 68, 4))
+    table = Table(
+        title="Figure 6: compute nodes vs radix (levels 2/3/4)",
+        headers=["radix"]
+        + [f"{t.upper()} l={l}" for l in (2, 3, 4) for t in TOPOLOGIES],
+    )
+    for radix in radii:
+        row: list = [radix]
+        for levels in (2, 3, 4):
+            for topology in TOPOLOGIES:
+                try:
+                    row.append(scalability_point(topology, radix, levels))
+                except ValueError:
+                    row.append(None)
+        table.add(*row)
+    table.note(
+        "T(CFT)=2(R/2)^l; T(RFC)=N1*R/2 at the Theorem 4.2 limit; "
+        "T(OFT)=2(q+1)(q^2+q+1)^(l-1); T(RRN) from delta^D=2NlnN with "
+        "the Section 4.3 port split."
+    )
+    return table

@@ -1,0 +1,78 @@
+"""Figure 7: expandability -- total ports versus compute nodes.
+
+Deterministic topologies (CFT, OFT) appear as step functions: each
+step is a weak expansion (a whole new level of switches must be
+deployed before one more compute node fits).  The random topologies
+(RFC, RRN) grow almost linearly -- strong expansion adds a handful of
+switches at a time -- with the RFC stepping only at the Theorem 4.2
+limit where a level becomes necessary.
+
+The second half of the experiment reproduces the paper's rewiring
+claim: expanding a radix-36, ~10,000-terminal RFC by 180 compute nodes
+rewires about 1.8% of its links (we report the measured fraction on a
+generated instance, scaled down in quick mode).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.expansion import expand_rfc
+from ..core.rfc import rfc_with_updown
+from ..cost.model import expandability_curve
+from .common import Table
+
+__all__ = ["run", "rewiring_check"]
+
+DEFAULT_RADIX = 36
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    radix = DEFAULT_RADIX
+    terminal_counts = [
+        500, 1_000, 2_000, 5_000, 11_664, 20_000, 50_000,
+        100_008, 150_000, 202_572, 250_000,
+    ]
+    curves = {
+        kind: expandability_curve(kind, radix, terminal_counts)
+        for kind in ("cft", "rfc", "rrn", "oft")
+    }
+    table = Table(
+        title=f"Figure 7: total ports vs compute nodes (radix {radix})",
+        headers=[
+            "terminals",
+            "ports CFT", "levels CFT",
+            "ports RFC", "levels RFC",
+            "ports RRN",
+            "ports OFT", "levels OFT",
+        ],
+    )
+    for i, terminals in enumerate(terminal_counts):
+        table.add(
+            terminals,
+            curves["cft"][i].ports, curves["cft"][i].levels,
+            curves["rfc"][i].ports, curves["rfc"][i].levels,
+            curves["rrn"][i].ports,
+            curves["oft"][i].ports, curves["oft"][i].levels,
+        )
+    if quick:
+        table.note(rewiring_check(radix=12, n1=80, levels=3, steps=3, seed=seed))
+    else:
+        table.note(rewiring_check(radix=36, n1=556, levels=3, steps=5, seed=seed))
+    return table
+
+
+def rewiring_check(
+    radix: int, n1: int, levels: int, steps: int, seed: int = 0
+) -> str:
+    """Measure the rewiring fraction of a strong expansion."""
+    topo, _ = rfc_with_updown(radix, n1, levels, rng=random.Random(seed))
+    total_before = topo.num_links
+    expanded, report = expand_rfc(topo, steps=steps, rng=seed + 1)
+    return (
+        f"strong expansion of RFC(R={radix}, N1={n1}, l={levels}) by "
+        f"{steps} steps (+{report.terminals_added} nodes) rewired "
+        f"{report.links_removed} of {total_before} links "
+        f"({report.rewired_fraction(total_before):.2%}); "
+        f"expanded network has {expanded.num_terminals} terminals"
+    )

@@ -1,0 +1,22 @@
+"""Figure 8: scenario 1 -- equal resources.
+
+3-level CFT and RFC with identical resources (plus, at full scale, the
+smaller-radix RFC variant that matches the node count, the paper's
+radix-20-vs-36 point).  Expected shape: near-identical uniform
+behaviour, CFT ahead under random-pairing (it is rearrangeably
+non-blocking; paper: 0.86 vs 0.76 accepted), parity under
+fixed-random.
+"""
+
+from __future__ import annotations
+
+from .common import Table
+from .scenario_sim import run_scenario
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    table = run_scenario("equal-resources-11k", quick=quick, seed=seed)
+    table.title = "Figure 8: " + table.title
+    return table

@@ -1,0 +1,20 @@
+"""Figure 9: scenario 2 -- intermediate expansion.
+
+3-level RFC against a 4-level partially populated CFT at matched
+terminal counts.  Expected shape: equal uniform throughput with ~15-20%
+lower RFC latency (one level fewer); a modest RFC deficit under
+random-pairing; parity under fixed-random.
+"""
+
+from __future__ import annotations
+
+from .common import Table
+from .scenario_sim import run_scenario
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    table = run_scenario("intermediate-100k", quick=quick, seed=seed)
+    table.title = "Figure 9: " + table.title
+    return table

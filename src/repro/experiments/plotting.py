@@ -1,0 +1,113 @@
+"""ASCII plotting for experiment tables (offline-friendly figures).
+
+The experiment harness returns :class:`Table` data; this module turns
+selected columns into terminal plots so the paper's figures can be
+eyeballed without matplotlib:
+
+* :func:`ascii_plot` -- multi-series scatter/line over a numeric x
+  column (log-x option for the scalability/expandability figures);
+* :func:`ascii_bars` -- labelled horizontal bars (Table 3 style).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .common import Table
+
+__all__ = ["ascii_plot", "ascii_bars"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _scale(
+    value: float, lo: float, hi: float, cells: int, log: bool
+) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    return min(cells - 1, max(0, round((value - lo) / (hi - lo) * (cells - 1))))
+
+
+def ascii_plot(
+    table: Table,
+    x: str,
+    ys: Sequence[str],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render y-columns against an x-column as an ASCII scatter plot.
+
+    Rows with missing (``None``/NaN) values in a series are skipped for
+    that series only.
+    """
+    xs_all = [v for v in table.column(x) if v is not None]
+    if not xs_all:
+        raise ValueError("no x data to plot")
+    points: list[tuple[float, float, int]] = []
+    y_values: list[float] = []
+    for series_index, name in enumerate(ys):
+        for xv, yv in zip(table.column(x), table.column(name)):
+            if xv is None or yv is None:
+                continue
+            if isinstance(yv, float) and yv != yv:
+                continue
+            if (log_x and xv <= 0) or (log_y and yv <= 0):
+                continue
+            points.append((float(xv), float(yv), series_index))
+            y_values.append(float(yv))
+    if not points:
+        raise ValueError("no data points to plot")
+    x_lo, x_hi = min(p[0] for p in points), max(p[0] for p in points)
+    y_lo, y_hi = min(y_values), max(y_values)
+
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv, series_index in points:
+        col = _scale(xv, x_lo, x_hi, width, log_x)
+        row = height - 1 - _scale(yv, y_lo, y_hi, height, log_y)
+        grid[row][col] = _MARKS[series_index % len(_MARKS)]
+
+    lines = [f"{table.title}"]
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row_cells in enumerate(grid):
+        label = top_label if i == 0 else bottom_label if i == height - 1 else ""
+        lines.append(f"{label:>{pad}} |{''.join(row_cells)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    lines.append(
+        f"{'':>{pad}}  {x_lo:g}{'':^{max(1, width - 16)}}{x_hi:g}"
+        f"  ({x}{', log-x' if log_x else ''})"
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {name}" for i, name in enumerate(ys)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    table: Table,
+    label: str,
+    value: str,
+    width: int = 50,
+) -> str:
+    """Horizontal bars for one numeric column, labelled by another."""
+    rows = [
+        (str(lab), float(val))
+        for lab, val in zip(table.column(label), table.column(value))
+        if val is not None
+    ]
+    if not rows:
+        raise ValueError("no data to plot")
+    top = max(v for _, v in rows)
+    label_width = max(len(lab) for lab, _ in rows)
+    lines = [table.title]
+    for lab, val in rows:
+        bar = "#" * max(1, round(val / top * width)) if top > 0 else ""
+        lines.append(f"{lab:>{label_width}} | {bar} {val:g}")
+    return "\n".join(lines)

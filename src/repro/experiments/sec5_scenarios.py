@@ -1,0 +1,51 @@
+"""Section 5 cost comparison: the 11K / 100K / 200K scenarios.
+
+Regenerates the paper's headline cost numbers -- switch and wire
+counts for the three CFT-vs-RFC deployments, the radix-20 RFC variant,
+and the resulting savings (the paper quotes 31% switches / 36% wires
+at 200K and "up to 95%" port savings per additional connectable node
+when the CFT is forced to add a level).
+"""
+
+from __future__ import annotations
+
+from ..cost.scenarios import SCENARIOS
+from .common import Table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    table = Table(
+        title="Section 5 scenarios: cost of CFT vs RFC (radix 36)",
+        headers=[
+            "scenario", "topology", "radix", "levels",
+            "terminals", "switches", "wires", "ports",
+        ],
+    )
+    for scn in SCENARIOS.values():
+        for label, point in (
+            ("CFT", scn.cft),
+            ("RFC", scn.rfc),
+            ("RFC-alt", scn.rfc_alt),
+        ):
+            if point is None:
+                continue
+            table.add(
+                scn.name, label, point.radix, point.levels,
+                point.terminals, point.switches, point.wires, point.ports,
+            )
+        savings = scn.savings()
+        table.note(
+            f"{scn.name}: RFC saves {savings['switches']:.1%} switches, "
+            f"{savings['wires']:.1%} wires vs CFT"
+        )
+    from ..cost.pricing import max_rfc_saving
+
+    terminals, saving = max_rfc_saving(36)
+    table.note(
+        f"abstract's claim: maximum cost saving {saving:.1%} at "
+        f"{terminals:,} terminals (paper: 'up to 95%', just past the "
+        "3-level CFT capacity step)"
+    )
+    return table

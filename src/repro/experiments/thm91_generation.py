@@ -1,0 +1,66 @@
+"""Theorem 9.1: generator running time scales as O(N * Delta * ln Delta).
+
+Times the Listing 1/2 generators across a size grid and reports the
+time normalized by ``N * Delta * ln(Delta)``; an approximately constant
+column is the theorem's claim.  (pytest-benchmark gives the precise
+timing harness in ``benchmarks/bench_generation.py``; this experiment
+is the human-readable trend table.)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from ..topologies.random_graphs import (
+    random_bipartite_graph,
+    random_regular_graph,
+)
+from .common import Table
+
+__all__ = ["run"]
+
+
+def _time_call(fn, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(quick: bool = True, seed: int = 0) -> Table:
+    rng = random.Random(seed)
+    if quick:
+        grid = [(200, 6), (400, 6), (400, 12), (800, 12)]
+    else:
+        grid = [
+            (500, 8), (1_000, 8), (2_000, 8),
+            (1_000, 16), (2_000, 16), (4_000, 16), (4_000, 32),
+        ]
+    table = Table(
+        title="Theorem 9.1: generation time vs N * Delta * ln Delta",
+        headers=[
+            "N", "Delta",
+            "regular s", "regular s/(N D lnD) 1e-9",
+            "bipartite s", "bipartite s/(N D lnD) 1e-9",
+        ],
+    )
+    for n, degree in grid:
+        scale = n * degree * math.log(degree)
+        t_reg = _time_call(lambda: random_regular_graph(n, degree, rng=rng))
+        t_bip = _time_call(
+            lambda: random_bipartite_graph(n, degree, n, degree, rng=rng)
+        )
+        table.add(
+            n, degree,
+            t_reg, 1e9 * t_reg / scale,
+            t_bip, 1e9 * t_bip / scale,
+        )
+    table.note(
+        "The normalized columns should stay roughly flat across the grid "
+        "(constant factor of the O(N Delta ln Delta) bound)."
+    )
+    return table

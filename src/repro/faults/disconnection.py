@@ -1,0 +1,96 @@
+"""Link removals until disconnection (paper Table 3).
+
+For each trial, links fail in a uniformly random order and the trial
+records the smallest number of failures that disconnects the switch
+graph.  The paper reports the mean over 100 trials as a percentage of
+the total links, for CFT / RRN / RFC / OFT instances of diameter 4
+(3 levels) and matched terminal counts.
+
+Two flavours of "disconnected" are provided:
+
+* ``scope="switches"`` (default, matching the paper/Slim Fly): any
+  switch separated from the rest counts;
+* ``scope="leaves"``: only loss of leaf-to-leaf connectivity counts --
+  terminals do not care about stranded root switches.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from ..topologies.base import DirectNetwork, FoldedClos
+from .removal import UnionFind, failure_threshold, shuffled_links
+
+__all__ = ["DisconnectionResult", "disconnection_fraction", "disconnection_trial"]
+
+
+@dataclass(frozen=True)
+class DisconnectionResult:
+    """Aggregated disconnection statistics over several trials."""
+
+    mean_fraction: float
+    stdev_fraction: float
+    trials: int
+    total_links: int
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean_fraction
+
+
+def disconnection_trial(
+    network: FoldedClos | DirectNetwork,
+    rng: random.Random | int | None = None,
+    scope: str = "switches",
+) -> int:
+    """Failures needed to disconnect under one random failure order."""
+    order = shuffled_links(network, rng=rng)
+    num_switches = network.num_switches
+    if scope == "switches":
+        watched = None
+    elif scope == "leaves":
+        if isinstance(network, FoldedClos):
+            watched = list(range(network.num_leaves))
+        else:
+            watched = list(range(num_switches))
+    else:
+        raise ValueError(f"unknown scope {scope!r}")
+
+    def still_ok(k: int) -> bool:
+        uf = UnionFind(num_switches)
+        for link in order[k:]:
+            uf.union(link.lo, link.hi)
+        if watched is None:
+            return uf.components == 1
+        return uf.all_connected(watched)
+
+    return failure_threshold(len(order), still_ok)
+
+
+def disconnection_fraction(
+    network: FoldedClos | DirectNetwork,
+    trials: int = 100,
+    rng: random.Random | int | None = None,
+    scope: str = "switches",
+) -> DisconnectionResult:
+    """Mean fraction of links whose removal disconnects the network.
+
+    Matches the paper's Table 3 methodology (they use 100 trials).
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    total = network.num_links
+    counts = [
+        min(disconnection_trial(network, rng=rand, scope=scope), total)
+        for _ in range(trials)
+    ]
+    fractions = [c / total for c in counts]
+    return DisconnectionResult(
+        mean_fraction=statistics.fmean(fractions),
+        stdev_fraction=statistics.stdev(fractions) if trials > 1 else 0.0,
+        trials=trials,
+        total_links=total,
+    )

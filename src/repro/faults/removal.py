@@ -1,0 +1,98 @@
+"""Random link-failure processes.
+
+The paper's resiliency methodology (Section 7, after Slim Fly): links
+fail one by one in uniformly random order; a property of interest
+(connectivity, up/down routability, throughput) is tracked along the
+failure sequence.  Because every property studied is *monotone* --
+once lost it cannot come back as more links fail -- thresholds along a
+fixed failure order can be located by binary search, which is what
+makes 100-trial averages at paper scale affordable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..topologies.base import DirectNetwork, FoldedClos, Link
+
+__all__ = [
+    "shuffled_links",
+    "failure_threshold",
+    "UnionFind",
+]
+
+
+def shuffled_links(
+    network: FoldedClos | DirectNetwork,
+    rng: random.Random | int | None = None,
+) -> list[Link]:
+    """The network's links in a uniformly random failure order."""
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    links = network.links()
+    rand.shuffle(links)
+    return links
+
+
+def failure_threshold(
+    num_links: int,
+    still_ok: Callable[[int], bool],
+) -> int:
+    """Smallest failure count that breaks a monotone property.
+
+    ``still_ok(k)`` must report whether the property holds after the
+    first ``k`` links of the failure order are removed, and must be
+    monotone (non-increasing in ``k``).  Returns the minimal breaking
+    ``k`` in ``1..num_links``, or ``num_links + 1`` when the property
+    survives every removal.
+    """
+    if not still_ok(0):
+        return 0
+    lo, hi = 0, num_links  # ok at lo; test if ever broken
+    if still_ok(num_links):
+        return num_links + 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if still_ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+class UnionFind:
+    """Classic disjoint-set forest with path halving + union by size."""
+
+    __slots__ = ("parent", "size", "components")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.components -= 1
+        return True
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def all_connected(self, vertices: Sequence[int]) -> bool:
+        if not vertices:
+            return True
+        root = self.find(vertices[0])
+        return all(self.find(v) == root for v in vertices[1:])

@@ -1,0 +1,110 @@
+"""Correlated failures: whole-switch outages.
+
+The paper's Section 7 fails individual links; real outages often take
+out a switch (power, firmware) and with it *all* of its links.  This
+module maps switch failures onto the link-failure machinery so the
+same monotone binary-search analysis applies, letting users compare
+tolerance to independent link faults vs correlated switch faults.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from ..core.ancestors import has_updown_routing
+from ..topologies.base import DirectNetwork, FoldedClos, Link
+from .removal import failure_threshold
+from .updown_survival import pruned_stages
+
+__all__ = [
+    "links_of_switches",
+    "switch_failure_order",
+    "updown_switch_trial",
+    "SwitchSurvival",
+    "updown_switch_tolerance",
+]
+
+
+def links_of_switches(
+    network: FoldedClos | DirectNetwork, switches: set[int]
+) -> list[Link]:
+    """Every link incident to any of the given flat switch ids."""
+    return [
+        link
+        for link in network.links()
+        if link.lo in switches or link.hi in switches
+    ]
+
+
+def switch_failure_order(
+    network: FoldedClos | DirectNetwork,
+    rng: random.Random | int | None = None,
+    spare_leaves: bool = True,
+) -> list[int]:
+    """Switches in a uniformly random failure order.
+
+    With ``spare_leaves`` (default) leaf switches are excluded on
+    folded Clos networks: a dead leaf trivially disconnects its own
+    terminals, which says nothing about fabric resilience.
+    """
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    if isinstance(network, FoldedClos) and spare_leaves:
+        candidates = list(range(network.num_leaves, network.num_switches))
+    else:
+        candidates = list(range(network.num_switches))
+    rand.shuffle(candidates)
+    return candidates
+
+
+def updown_switch_trial(
+    topo: FoldedClos,
+    rng: random.Random | int | None = None,
+) -> int:
+    """Switch failures tolerated before up/down routing breaks."""
+    order = switch_failure_order(topo, rng=rng)
+    sizes = topo.level_sizes
+
+    def still_ok(k: int) -> bool:
+        removed = set(links_of_switches(topo, set(order[:k])))
+        return has_updown_routing(sizes, pruned_stages(topo, removed))
+
+    return failure_threshold(len(order), still_ok) - 1
+
+
+@dataclass(frozen=True)
+class SwitchSurvival:
+    """Tolerated-switch-failure statistics."""
+
+    mean_fraction: float
+    stdev_fraction: float
+    trials: int
+    fabric_switches: int
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean_fraction
+
+
+def updown_switch_tolerance(
+    topo: FoldedClos,
+    trials: int = 10,
+    rng: random.Random | int | None = None,
+) -> SwitchSurvival:
+    """Mean fraction of fabric switches tolerable with up/down intact."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    fabric = topo.num_switches - topo.num_leaves
+    if fabric < 1:
+        raise ValueError("network has no fabric switches to fail")
+    fractions = [
+        updown_switch_trial(topo, rng=rand) / fabric for _ in range(trials)
+    ]
+    return SwitchSurvival(
+        mean_fraction=statistics.fmean(fractions),
+        stdev_fraction=statistics.stdev(fractions) if trials > 1 else 0.0,
+        trials=trials,
+        fabric_switches=fabric,
+    )

@@ -1,0 +1,106 @@
+"""Up/down-routing survival under link failures (paper Figure 11).
+
+A folded Clos keeps its deadlock-free up/down routing only while every
+leaf pair retains a common ancestor.  This module measures, for random
+failure orders, the largest fraction of links that can fail before
+that property breaks.  Per the paper:
+
+* RFCs trade radix slack for tolerance: at the Theorem 4.2 threshold
+  tolerance is small, while radix above the threshold (positive ``x``)
+  buys a sizeable failure budget;
+* CFTs have a fixed (lower) tolerance and OFTs lose up/down routing at
+  the very first failures (unique paths).
+
+The property is monotone in the failure prefix, so thresholds are
+located by binary search over each random order (see
+:mod:`repro.faults.removal`).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from ..core.ancestors import has_updown_routing
+from ..topologies.base import FoldedClos, Link
+from .removal import failure_threshold, shuffled_links
+
+__all__ = [
+    "UpdownSurvival",
+    "updown_fault_tolerance",
+    "updown_trial",
+    "pruned_stages",
+]
+
+
+@dataclass(frozen=True)
+class UpdownSurvival:
+    """Tolerated-failure statistics over several random orders."""
+
+    mean_fraction: float
+    stdev_fraction: float
+    trials: int
+    total_links: int
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean_fraction
+
+
+def pruned_stages(
+    topo: FoldedClos, removed: set[Link]
+) -> list[list[list[int]]]:
+    """Stage adjacency with ``removed`` links deleted."""
+    stages: list[list[list[int]]] = []
+    for level in range(topo.num_levels - 1):
+        rows = []
+        for s in range(topo.level_sizes[level]):
+            lo = topo.switch_id(level, s)
+            rows.append(
+                [
+                    t
+                    for t in topo.up_neighbors(level, s)
+                    if Link(lo, topo.switch_id(level + 1, t)) not in removed
+                ]
+            )
+        stages.append(rows)
+    return stages
+
+
+def updown_trial(
+    topo: FoldedClos,
+    rng: random.Random | int | None = None,
+) -> int:
+    """Failures tolerated before up/down routing breaks (one order).
+
+    Returns the largest ``k`` such that the network is still up/down
+    routable after the first ``k`` failures.
+    """
+    order = shuffled_links(topo, rng=rng)
+    sizes = topo.level_sizes
+
+    def still_ok(k: int) -> bool:
+        removed = set(order[:k])
+        return has_updown_routing(sizes, pruned_stages(topo, removed))
+
+    return failure_threshold(len(order), still_ok) - 1
+
+
+def updown_fault_tolerance(
+    topo: FoldedClos,
+    trials: int = 20,
+    rng: random.Random | int | None = None,
+) -> UpdownSurvival:
+    """Mean fraction of links tolerable while keeping up/down routing."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    total = topo.num_links
+    fractions = [updown_trial(topo, rng=rand) / total for _ in range(trials)]
+    return UpdownSurvival(
+        mean_fraction=statistics.fmean(fractions),
+        stdev_fraction=statistics.stdev(fractions) if trials > 1 else 0.0,
+        trials=trials,
+        total_links=total,
+    )

@@ -1,0 +1,55 @@
+"""Generic graph analyses: distances, bisection, connectivity."""
+
+from .bisection import (
+    bollobas_isoperimetric,
+    estimate_bisection_width,
+    rfc_bisection_lower_bound,
+    rfc_normalized_bisection,
+    rrn_bisection_lower_bound,
+    rrn_normalized_bisection,
+)
+from .connectivity import (
+    adjacency_without_links,
+    connected_components,
+    connects_all,
+    is_connected,
+)
+from .metrics import (
+    average_distance,
+    bfs_distances,
+    diameter,
+    distance_histogram,
+    eccentricity,
+    leaf_diameter,
+    terminal_diameter,
+)
+from .spectral import (
+    adjacency_eigenvalues,
+    adjacency_spectrum_gap,
+    algebraic_connectivity,
+    cheeger_bounds,
+)
+
+__all__ = [
+    "average_distance",
+    "bfs_distances",
+    "diameter",
+    "distance_histogram",
+    "eccentricity",
+    "terminal_diameter",
+    "leaf_diameter",
+    "adjacency_eigenvalues",
+    "adjacency_spectrum_gap",
+    "algebraic_connectivity",
+    "cheeger_bounds",
+    "connected_components",
+    "is_connected",
+    "connects_all",
+    "adjacency_without_links",
+    "bollobas_isoperimetric",
+    "estimate_bisection_width",
+    "rfc_bisection_lower_bound",
+    "rfc_normalized_bisection",
+    "rrn_bisection_lower_bound",
+    "rrn_normalized_bisection",
+]

@@ -1,0 +1,161 @@
+"""Bisection-width estimation and the paper's analytic bounds.
+
+Exact bisection width is NP-hard, so (as is standard in the topology
+literature) we combine:
+
+* the **Bollobas lower bound** for random regular graphs -- Section 4.2
+  of the paper: a Delta-regular random graph on N vertices has
+  isoperimetric number at least ``Delta/2 - sqrt(Delta ln 2)``, hence
+  bisection width at least ``N/2 (Delta/2 - sqrt(Delta ln 2))``;
+* the paper's **RFC reduction**: collapsing an RFC into groups of
+  ``2(l-1)`` switches (two per non-root level, one root) yields a
+  random multigraph of degree ``2(l-1)R`` on ``N_1/2`` vertices, giving
+  ``BW >= N_1/4 ((l-1)R - sqrt(2(l-1) R ln 2))``;
+* an **empirical upper bound** via randomized local-search bisection
+  (Kernighan--Lin style sweeps from random balanced cuts).
+
+``normalized_*`` helpers divide by terminals-in-a-half times average
+bisection traversals, matching the paper's "normalized bisection"
+numbers (CFT = 1, RRN ~ 0.88, 2-level RFC ~ 0.80, 3-level RFC ~ 0.86
+for R = 36).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+__all__ = [
+    "bollobas_isoperimetric",
+    "rrn_bisection_lower_bound",
+    "rfc_bisection_lower_bound",
+    "rrn_normalized_bisection",
+    "rfc_normalized_bisection",
+    "cut_width",
+    "estimate_bisection_width",
+]
+
+
+def bollobas_isoperimetric(degree: int) -> float:
+    """Bollobas' lower bound on the isoperimetric number of a random
+    ``degree``-regular graph: ``degree/2 - sqrt(degree ln 2)``."""
+    if degree < 0:
+        raise ValueError(f"negative degree {degree}")
+    return degree / 2.0 - math.sqrt(degree * math.log(2))
+
+
+def rrn_bisection_lower_bound(num_switches: int, degree: int) -> float:
+    """``N/2 * (Delta/2 - sqrt(Delta ln 2))`` links across any bisection."""
+    return num_switches / 2.0 * bollobas_isoperimetric(degree)
+
+
+def rfc_bisection_lower_bound(n1: int, radix: int, levels: int) -> float:
+    """Paper Section 4.2: collapse the RFC and apply Bollobas' bound.
+
+    ``N_1/4 * ((l-1) R - sqrt(2 (l-1) R ln 2))``.
+    """
+    if levels < 2:
+        raise ValueError("an RFC bisection bound needs at least 2 levels")
+    stages = levels - 1
+    return n1 / 4.0 * (
+        stages * radix - math.sqrt(2 * stages * radix * math.log(2))
+    )
+
+
+def rrn_normalized_bisection(degree: int, hosts_per_switch: int) -> float:
+    """Bisection per terminal-in-a-half for a balanced RRN.
+
+    Each RRN path crosses the bisection about once under uniform
+    traffic, so normalization divides by ``N/2 * hosts`` terminals.
+    """
+    if hosts_per_switch <= 0:
+        raise ValueError("hosts_per_switch must be positive")
+    return bollobas_isoperimetric(degree) / hosts_per_switch
+
+
+def rfc_normalized_bisection(radix: int, levels: int) -> float:
+    """Paper's normalized bisection for a radix-regular RFC.
+
+    Terminals per leaf are ``R/2`` and the average number of bisection
+    traversals of an up/down path is ``l - 1``, so with the collapsed
+    bound the normalization is
+    ``((l-1) R - sqrt(2 (l-1) R ln 2)) / (2 * (R/2) * (l-1))``.
+    """
+    stages = levels - 1
+    raw = stages * radix - math.sqrt(2 * stages * radix * math.log(2))
+    return raw / (2.0 * (radix / 2.0) * stages)
+
+
+def cut_width(
+    adjacency: Sequence[Sequence[int]], side: Sequence[bool]
+) -> int:
+    """Number of links crossing the cut described by ``side`` flags."""
+    crossing = 0
+    for u, nbrs in enumerate(adjacency):
+        su = side[u]
+        for v in nbrs:
+            if u < v and su != side[v]:
+                crossing += 1
+    return crossing
+
+
+def estimate_bisection_width(
+    adjacency: Sequence[Sequence[int]],
+    restarts: int = 8,
+    sweeps: int = 8,
+    rng: random.Random | int | None = None,
+) -> int:
+    """Randomized local-search upper bound on the bisection width.
+
+    Starts from random balanced partitions and greedily swaps the pair
+    of cross-side vertices with the best combined gain until a sweep
+    makes no progress.  Deterministic given ``rng``.
+    """
+    n = len(adjacency)
+    if n < 2:
+        return 0
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    half = n // 2
+    best = None
+    nodes = list(range(n))
+    for _ in range(restarts):
+        rand.shuffle(nodes)
+        side = [False] * n
+        for u in nodes[:half]:
+            side[u] = True
+        width = cut_width(adjacency, side)
+        for _ in range(sweeps):
+            improved = False
+            # Gain of moving u to the other side (negative = worse).
+            gains = [0] * n
+            for u, nbrs in enumerate(adjacency):
+                external = sum(1 for v in nbrs if side[v] != side[u])
+                internal = len(nbrs) - external
+                gains[u] = external - internal
+            left = sorted(
+                (u for u in range(n) if side[u]),
+                key=lambda u: -gains[u],
+            )[: max(4, n // 16)]
+            right = sorted(
+                (u for u in range(n) if not side[u]),
+                key=lambda u: -gains[u],
+            )[: max(4, n // 16)]
+            for u in left:
+                for v in right:
+                    coupling = 2 if v in adjacency[u] else 0
+                    delta = gains[u] + gains[v] - coupling
+                    if delta > 0:
+                        side[u], side[v] = side[v], side[u]
+                        width -= delta
+                        improved = True
+                        break
+                else:
+                    continue
+                break
+            if not improved:
+                break
+        width = cut_width(adjacency, side)
+        best = width if best is None else min(best, width)
+    assert best is not None
+    return best

@@ -1,0 +1,105 @@
+"""Connectivity analysis under link removal.
+
+Supports the paper's resiliency study (Section 7): how many randomly
+removed links does it take to disconnect a network's switch graph, and
+does the surviving graph still connect all *leaf* switches (the
+property that matters to compute nodes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "connects_all",
+    "adjacency_without_links",
+]
+
+
+def connected_components(
+    adjacency: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """Connected components as lists of vertex ids (sorted, stable)."""
+    n = len(adjacency)
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        comp = [start]
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        components.append(sorted(comp))
+    return components
+
+
+def is_connected(adjacency: Sequence[Sequence[int]]) -> bool:
+    """Whether the whole switch graph is a single component."""
+    n = len(adjacency)
+    if n == 0:
+        return True
+    seen = [False] * n
+    seen[0] = True
+    queue = deque([0])
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                queue.append(v)
+    return count == n
+
+
+def connects_all(
+    adjacency: Sequence[Sequence[int]], vertices: Iterable[int]
+) -> bool:
+    """Whether all of ``vertices`` lie in one connected component.
+
+    Used with the set of leaf switches: a folded Clos is *functionally*
+    disconnected as soon as some pair of leaves cannot reach each
+    other, even if upper-level fragments survive elsewhere.
+    """
+    wanted = set(vertices)
+    if len(wanted) <= 1:
+        return True
+    start = next(iter(wanted))
+    seen = [False] * len(adjacency)
+    seen[start] = True
+    queue = deque([start])
+    reached = 1 if start in wanted else 0
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if not seen[v]:
+                seen[v] = True
+                if v in wanted:
+                    reached += 1
+                queue.append(v)
+    return reached == len(wanted)
+
+
+def adjacency_without_links(
+    adjacency: Sequence[Sequence[int]],
+    removed: Iterable[tuple[int, int]],
+) -> list[list[int]]:
+    """Copy of ``adjacency`` with the given undirected links removed."""
+    gone: set[tuple[int, int]] = set()
+    for a, b in removed:
+        gone.add((a, b))
+        gone.add((b, a))
+    return [
+        [v for v in nbrs if (u, v) not in gone]
+        for u, nbrs in enumerate(adjacency)
+    ]

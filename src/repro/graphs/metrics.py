@@ -1,0 +1,153 @@
+"""Distance metrics on switch graphs.
+
+Plain-list BFS utilities used by the diameter, scalability and
+resiliency experiments.  They operate on adjacency lists (``list`` of
+``list``/``tuple`` of neighbor ids) as produced by
+:meth:`FoldedClos.adjacency` / :meth:`DirectNetwork.adjacency`, which is
+substantially faster than going through :mod:`networkx` for the sizes
+the paper uses (tens of thousands of switches).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Sequence
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "average_distance",
+    "terminal_diameter",
+    "leaf_diameter",
+    "distance_histogram",
+]
+
+UNREACHABLE = -1
+
+
+def bfs_distances(adjacency: Sequence[Sequence[int]], source: int) -> list[int]:
+    """Hop distances from ``source``; ``UNREACHABLE`` where disconnected."""
+    n = len(adjacency)
+    dist = [UNREACHABLE] * n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u] + 1
+        for v in adjacency[u]:
+            if dist[v] == UNREACHABLE:
+                dist[v] = du
+                queue.append(v)
+    return dist
+
+
+def eccentricity(adjacency: Sequence[Sequence[int]], source: int) -> int:
+    """Largest finite distance from ``source``.
+
+    Raises ``ValueError`` when the graph is disconnected, because an
+    eccentricity computed over a fragment would silently understate it.
+    """
+    dist = bfs_distances(adjacency, source)
+    if UNREACHABLE in dist:
+        raise ValueError("graph is disconnected")
+    return max(dist)
+
+
+def diameter(
+    adjacency: Sequence[Sequence[int]],
+    sample: int | None = None,
+    rng: random.Random | int | None = None,
+) -> int:
+    """Graph diameter by all-sources BFS.
+
+    ``sample`` limits the number of BFS sources (a lower bound on the
+    true diameter, adequate for the paper's trend plots on very large
+    instances); ``None`` means exact.
+    """
+    n = len(adjacency)
+    if n == 0:
+        raise ValueError("empty graph has no diameter")
+    sources: Sequence[int]
+    if sample is None or sample >= n:
+        sources = range(n)
+    else:
+        rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+        sources = rand.sample(range(n), sample)
+    best = 0
+    for s in sources:
+        best = max(best, eccentricity(adjacency, s))
+    return best
+
+
+def average_distance(
+    adjacency: Sequence[Sequence[int]],
+    sample: int | None = None,
+    rng: random.Random | int | None = None,
+) -> float:
+    """Mean pairwise hop distance (sampled over BFS sources if asked)."""
+    n = len(adjacency)
+    if n < 2:
+        return 0.0
+    sources: Sequence[int]
+    if sample is None or sample >= n:
+        sources = range(n)
+    else:
+        rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+        sources = rand.sample(range(n), sample)
+    total = 0
+    pairs = 0
+    for s in sources:
+        dist = bfs_distances(adjacency, s)
+        if UNREACHABLE in dist:
+            raise ValueError("graph is disconnected")
+        total += sum(dist)
+        pairs += n - 1
+    return total / pairs
+
+
+def distance_histogram(
+    adjacency: Sequence[Sequence[int]],
+    sources: Sequence[int] | None = None,
+) -> dict[int, int]:
+    """Histogram of hop distances from ``sources`` (default: all)."""
+    n = len(adjacency)
+    hist: dict[int, int] = {}
+    for s in sources if sources is not None else range(n):
+        for d in bfs_distances(adjacency, s):
+            if d > 0:
+                hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def leaf_diameter(
+    adjacency: Sequence[Sequence[int]], leaves: Sequence[int]
+) -> int:
+    """Largest hop distance between two *leaf* switches.
+
+    This is the paper's notion of folded Clos diameter: terminal
+    traffic only ever starts and ends at leaves, so root-to-root
+    distances (which can exceed ``2(l-1)``) are irrelevant.
+    """
+    best = 0
+    leaf_set = set(leaves)
+    for s in leaves:
+        dist = bfs_distances(adjacency, s)
+        worst = max(dist[t] for t in leaf_set)
+        if worst == UNREACHABLE or UNREACHABLE in (dist[t] for t in leaf_set):
+            raise ValueError("some leaf pair is disconnected")
+        best = max(best, worst)
+    return best
+
+
+def terminal_diameter(network) -> int:
+    """Diameter as seen by compute nodes: switch diameter + 2 host hops.
+
+    For a single-switch network this is 2 (host, switch, host).
+    ``network`` is any object with :meth:`adjacency`.
+    """
+    adjacency = network.adjacency()
+    if len(adjacency) == 1:
+        return 2
+    return diameter(adjacency) + 2

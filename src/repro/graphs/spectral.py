@@ -1,0 +1,111 @@
+"""Spectral expander analysis.
+
+The paper traces RFCs back to the literature on expander graphs
+(Bassalygo-Pinsker, Alon): random wiring makes good expanders, and
+expansion is what drives bisection, fault tolerance and near-optimal
+throughput.  This module quantifies that claim:
+
+* :func:`adjacency_spectrum_gap` -- the normalized spectral gap
+  ``1 - lambda_2 / d_max`` of the adjacency operator (for regular
+  graphs this is the standard ``(d - lambda_2) / d`` expander gap);
+* :func:`algebraic_connectivity` -- the Fiedler value (second-smallest
+  Laplacian eigenvalue), a lower bound on isoperimetric quality via
+  Cheeger's inequality;
+* :func:`cheeger_bounds` -- the Cheeger sandwich
+  ``h^2 / (2 d_max) <= fiedler... `` rearranged into the
+  ``(lower, upper)`` bounds on the isoperimetric constant.
+
+Dense ``numpy`` eigensolvers handle the sizes the experiments use
+(hundreds to a few thousand switches); for larger graphs
+``scipy.sparse`` is used when available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "adjacency_eigenvalues",
+    "adjacency_spectrum_gap",
+    "algebraic_connectivity",
+    "cheeger_bounds",
+]
+
+_DENSE_LIMIT = 1_500
+
+
+def _adjacency_matrix(adjacency: Sequence[Sequence[int]]) -> np.ndarray:
+    n = len(adjacency)
+    matrix = np.zeros((n, n))
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            matrix[u, v] = 1.0
+    return matrix
+
+
+def adjacency_eigenvalues(
+    adjacency: Sequence[Sequence[int]], k: int = 2
+) -> list[float]:
+    """The ``k`` largest adjacency eigenvalues, descending."""
+    n = len(adjacency)
+    if n == 0:
+        return []
+    k = min(k, n)
+    if n <= _DENSE_LIMIT:
+        values = np.linalg.eigvalsh(_adjacency_matrix(adjacency))
+        return sorted(values.tolist(), reverse=True)[:k]
+    from scipy.sparse import lil_matrix
+    from scipy.sparse.linalg import eigsh
+
+    sparse = lil_matrix((n, n))
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            sparse[u, v] = 1.0
+    values = eigsh(sparse.tocsr(), k=k, which="LA", return_eigenvectors=False)
+    return sorted(values.tolist(), reverse=True)
+
+
+def adjacency_spectrum_gap(adjacency: Sequence[Sequence[int]]) -> float:
+    """Normalized spectral gap ``(lambda_1 - lambda_2) / lambda_1``.
+
+    For a connected d-regular graph ``lambda_1 = d`` and a gap bounded
+    away from zero certifies expansion; a Ramanujan-quality graph has
+    ``lambda_2 <= 2 sqrt(d - 1)``.
+    """
+    top = adjacency_eigenvalues(adjacency, k=2)
+    if len(top) < 2 or top[0] <= 0:
+        return 0.0
+    return (top[0] - top[1]) / top[0]
+
+
+def algebraic_connectivity(adjacency: Sequence[Sequence[int]]) -> float:
+    """Fiedler value: second-smallest Laplacian eigenvalue.
+
+    Zero iff the graph is disconnected; larger means better expansion.
+    Dense solve only (quadratic memory) -- adequate for the analysis
+    sizes used here.
+    """
+    n = len(adjacency)
+    if n < 2:
+        return 0.0
+    matrix = -_adjacency_matrix(adjacency)
+    degrees = [len(nbrs) for nbrs in adjacency]
+    for u in range(n):
+        matrix[u, u] = degrees[u]
+    values = np.linalg.eigvalsh(matrix)
+    return float(sorted(values)[1])
+
+
+def cheeger_bounds(adjacency: Sequence[Sequence[int]]) -> tuple[float, float]:
+    """Cheeger's sandwich on the isoperimetric (edge expansion) constant.
+
+    ``fiedler / 2 <= h(G) <= sqrt(2 * d_max * fiedler)``.
+    """
+    fiedler = algebraic_connectivity(adjacency)
+    d_max = max((len(nbrs) for nbrs in adjacency), default=0)
+    lower = fiedler / 2.0
+    upper = math.sqrt(2.0 * d_max * fiedler) if fiedler > 0 else 0.0
+    return lower, upper

@@ -1,0 +1,95 @@
+"""Path-diversity census for folded Clos networks.
+
+Path diversity is the quantity behind several of the paper's
+qualitative claims: the 2-level OFT has *unique* minimal routes (poor
+worst-case performance and zero up/down fault tolerance), CFTs have
+``(R/2)^(l-1)`` routes between cross-pod leaves, and RFCs sit in
+between with a *distribution* of widths induced by the random wiring.
+This module measures that distribution.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+
+from ..topologies.base import FoldedClos
+from .updown import UpDownRouter
+
+__all__ = ["DiversityCensus", "path_diversity_census", "ecmp_width_histogram"]
+
+
+@dataclass(frozen=True)
+class DiversityCensus:
+    """Summary of minimal up/down route multiplicity over leaf pairs."""
+
+    pairs: int
+    mean_width: float
+    min_width: int
+    max_width: int
+    unique_route_fraction: float
+    mean_length: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.pairs} pairs: width mean {self.mean_width:.1f} "
+            f"[{self.min_width}..{self.max_width}], "
+            f"{self.unique_route_fraction:.1%} single-route, "
+            f"mean length {self.mean_length:.2f}"
+        )
+
+
+def ecmp_width_histogram(
+    topo: FoldedClos,
+    sample_pairs: int = 200,
+    rng: random.Random | int | None = None,
+    router: UpDownRouter | None = None,
+) -> Counter:
+    """Histogram of minimal-route counts over sampled distinct pairs."""
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    router = router or UpDownRouter.for_topology(topo)
+    n1 = topo.num_leaves
+    histogram: Counter = Counter()
+    total_pairs = n1 * (n1 - 1) // 2
+    if total_pairs <= sample_pairs:
+        pairs = [(a, b) for a in range(n1) for b in range(a + 1, n1)]
+    else:
+        seen: set[tuple[int, int]] = set()
+        while len(seen) < sample_pairs:
+            a, b = rand.randrange(n1), rand.randrange(n1)
+            if a != b:
+                seen.add((min(a, b), max(a, b)))
+        pairs = sorted(seen)
+    for a, b in pairs:
+        histogram[router.ecmp_width(a, b)] += 1
+    return histogram
+
+
+def path_diversity_census(
+    topo: FoldedClos,
+    sample_pairs: int = 200,
+    rng: random.Random | int | None = None,
+) -> DiversityCensus:
+    """Sampled census of route multiplicity and minimal lengths."""
+    router = UpDownRouter.for_topology(topo)
+    histogram = ecmp_width_histogram(
+        topo, sample_pairs=sample_pairs, rng=rng, router=router
+    )
+    widths = [w for w, count in histogram.items() for _ in range(count)]
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    n1 = topo.num_leaves
+    lengths = []
+    for _ in range(min(sample_pairs, 200)):
+        a, b = rand.randrange(n1), rand.randrange(n1)
+        if a != b:
+            lengths.append(router.path_length(a, b))
+    return DiversityCensus(
+        pairs=len(widths),
+        mean_width=statistics.fmean(widths),
+        min_width=min(widths),
+        max_width=max(widths),
+        unique_route_fraction=histogram.get(1, 0) / len(widths),
+        mean_length=statistics.fmean(lengths) if lengths else 0.0,
+    )

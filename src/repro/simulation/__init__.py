@@ -1,0 +1,43 @@
+"""INSEE-like network simulation: cycle-level engine and flow model."""
+
+from .config import SimulationParams
+from .engine import Simulator, load_sweep, saturation_throughput, simulate
+from .flowlevel import flow_level_throughput, max_min_rates
+from .packet import Packet
+from .replication import AggregateResult, replicated_point
+from .stats import SimResult, SimStats
+from .traffic import (
+    EXTENDED_TRAFFIC_NAMES,
+    TRAFFIC_NAMES,
+    FixedRandomTraffic,
+    LocalityTraffic,
+    RandomPairingTraffic,
+    ShuffleTraffic,
+    TrafficPattern,
+    UniformTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "SimulationParams",
+    "Simulator",
+    "simulate",
+    "load_sweep",
+    "saturation_throughput",
+    "flow_level_throughput",
+    "max_min_rates",
+    "Packet",
+    "AggregateResult",
+    "replicated_point",
+    "SimResult",
+    "SimStats",
+    "TrafficPattern",
+    "UniformTraffic",
+    "RandomPairingTraffic",
+    "FixedRandomTraffic",
+    "LocalityTraffic",
+    "ShuffleTraffic",
+    "make_traffic",
+    "TRAFFIC_NAMES",
+    "EXTENDED_TRAFFIC_NAMES",
+]

@@ -1,0 +1,685 @@
+"""Event-driven virtual cut-through network simulator.
+
+An INSEE-like interconnection simulator (paper Section 6, Table 2)
+implemented at packet granularity:
+
+* **virtual cut-through** flow control: a packet advances as soon as
+  its head can be routed, but only into a virtual channel with buffer
+  space for the whole packet; a 16-phit packet occupies each traversed
+  link for 16 cycles and its tail frees the upstream buffer slot 16
+  cycles after the grant;
+* **input-buffered switches** with ``virtual_channels`` VCs per input
+  link (``buffer_packets`` packets each) to reduce head-of-line
+  blocking -- up/down routing needs no VCs for deadlock freedom;
+* **single-iteration random arbitration** (Table 2: random arbiter,
+  1 arbitration iteration): each head packet requests one random
+  viable output (random up/down request mode), each free output grants
+  one random requester;
+* **credit-based backpressure**: grants require a free downstream VC
+  slot, credits return when tails drain.
+
+The simulation is event-driven rather than cycle-stepped -- switches
+only do work when an arrival, credit return or port release can change
+their state -- which is what makes pure-Python runs of thousands of
+terminals tractable while preserving cycle-exact VCT timing.
+
+Terminals inject Bernoulli traffic at a configured *normalized load*
+(1.0 = one phit per terminal per cycle) into unbounded source queues,
+drained through a 1 phit/cycle injection link; ejection links model
+the symmetric sink.  Statistics follow
+:class:`~repro.simulation.stats.SimStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import deque
+from typing import Iterable
+
+from ..routing.table import EcmpTableRouter
+from ..routing.updown import UpDownRouter
+from ..topologies.base import DirectNetwork, FoldedClos, Link
+from .config import SimulationParams
+from .packet import Packet
+from .stats import SimResult, SimStats
+from .traffic import TrafficPattern
+
+__all__ = ["Simulator", "simulate", "load_sweep", "saturation_throughput"]
+
+_LINK, _INJECT, _EJECT = 0, 1, 2
+_EV_ARB, _EV_CREDIT, _EV_GEN = 0, 1, 2
+
+
+class Simulator:
+    """One simulation instance: topology + traffic + parameters.
+
+    Build once, call :meth:`run` once.  ``removed_links`` prunes cables
+    (both directions) before the run; routing tables are computed on
+    the pruned network, and packets whose pair has lost every up/down
+    route are dropped and counted in :attr:`unroutable_packets`.
+    """
+
+    def __init__(
+        self,
+        topo: FoldedClos | DirectNetwork,
+        traffic: TrafficPattern,
+        load: float,
+        params: SimulationParams | None = None,
+        removed_links: Iterable[Link] | None = None,
+        trace_limit: int = 0,
+    ) -> None:
+        if traffic.num_terminals != topo.num_terminals:
+            raise ValueError(
+                f"traffic has {traffic.num_terminals} terminals, topology "
+                f"has {topo.num_terminals}"
+            )
+        if not 0.0 < load <= 1.0:
+            raise ValueError(f"load must be in (0, 1], got {load}")
+        self.topo = topo
+        self.traffic = traffic
+        self.load = load
+        self.params = params or SimulationParams()
+        self.rng = random.Random(self.params.seed)
+        self.unroutable_packets = 0
+        self._direct = isinstance(topo, DirectNetwork)
+        # Packet tracing: hop logs for the first `trace_limit` packets.
+        self.trace_limit = trace_limit
+        self.traces: dict[int, list[tuple[int, str, int]]] = {}
+        self._next_serial = 0
+
+        removed = set(removed_links or ())
+        if self._direct:
+            self._build_direct_router(removed)
+        else:
+            self._build_router(removed)
+        self._build_channels(removed)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_direct_router(self, removed: set[Link]) -> None:
+        """ECMP tables over the pruned direct network.
+
+        Direct networks use distance-class virtual channels (packet's
+        ``h``-th hop rides VC ``h``) for deadlock freedom; the VC
+        budget is validated against the diameter during grants.
+        """
+        assert isinstance(self.topo, DirectNetwork)
+        adjacency = self.topo.adjacency()
+        if removed:
+            adjacency = [
+                [v for v in nbrs if Link(u, v) not in removed]
+                for u, nbrs in enumerate(adjacency)
+            ]
+        self.direct_router = EcmpTableRouter(adjacency)
+
+    def _build_router(self, removed: set[Link]) -> None:
+        topo = self.topo
+        stages: list[list[list[int]]] = []
+        for level in range(topo.num_levels - 1):
+            rows = []
+            for s in range(topo.level_sizes[level]):
+                lo = topo.switch_id(level, s)
+                ups = [
+                    t
+                    for t in topo.up_neighbors(level, s)
+                    if Link(lo, topo.switch_id(level + 1, t)) not in removed
+                ]
+                rows.append(ups)
+            stages.append(rows)
+        self.router = UpDownRouter(topo.level_sizes, stages)
+
+    def _build_channels(self, removed: set[Link]) -> None:
+        topo = self.topo
+        params = self.params
+        vcs = params.virtual_channels
+        slots0 = params.buffer_packets
+
+        self.ch_kind: list[int] = []
+        self.ch_src: list[int] = []
+        self.ch_dst: list[int] = []
+        self.ch_peer: list[int] = []
+        self.ch_busy: list[int] = []
+        self.ch_queues: list[list | None] = []
+        self.ch_slots: list[list[int] | None] = []
+        self.ch_blocked: list[int] = []
+        self.ch_busy_cycles: list[int] = []
+        self.max_inject_queue = 0
+
+        def add_channel(kind: int, src: int, dst: int, peer: int) -> int:
+            cid = len(self.ch_kind)
+            self.ch_kind.append(kind)
+            self.ch_src.append(src)
+            self.ch_dst.append(dst)
+            self.ch_peer.append(peer)
+            self.ch_busy.append(0)
+            self.ch_blocked.append(0)
+            self.ch_busy_cycles.append(0)
+            if kind == _LINK:
+                self.ch_queues.append([deque() for _ in range(vcs)])
+                self.ch_slots.append([slots0] * vcs)
+            elif kind == _INJECT:
+                self.ch_queues.append([deque()])
+                self.ch_slots.append(None)
+            else:
+                self.ch_queues.append(None)
+                self.ch_slots.append(None)
+            return cid
+
+        n_sw = topo.num_switches
+        self.in_units: list[list[tuple[int, int]]] = [[] for _ in range(n_sw)]
+        self.link_channel: dict[tuple[int, int], int] = {}
+        for link in topo.links():
+            if link in removed:
+                continue
+            for a, b in ((link.lo, link.hi), (link.hi, link.lo)):
+                cid = add_channel(_LINK, a, b, b)
+                self.link_channel[(a, b)] = cid
+                for vc in range(vcs):
+                    self.in_units[b].append((cid, vc))
+
+        self.inject_channel: list[int] = []
+        self.eject_channel: list[int] = []
+        for terminal in range(topo.num_terminals):
+            leaf = topo.terminal_switch(terminal)
+            cid = add_channel(_INJECT, -1, leaf, terminal)
+            self.inject_channel.append(cid)
+            self.in_units[leaf].append((cid, 0))
+            self.eject_channel.append(add_channel(_EJECT, leaf, -1, terminal))
+
+        # Flat-id decomposition caches for folded Clos routing.
+        if not self._direct:
+            self.level_of = [0] * n_sw
+            self.index_of = [0] * n_sw
+            for s in range(n_sw):
+                level, index = topo.switch_level(s)
+                self.level_of[s] = level
+                self.index_of[s] = index
+            self.level_offsets = [
+                topo.switch_id(level, 0) for level in range(topo.num_levels)
+            ]
+
+    # ------------------------------------------------------------------
+    # Virtual-channel classes
+    # ------------------------------------------------------------------
+    def _vc_class(self, packet: Packet) -> tuple[int, int]:
+        """Half-open VC index range the packet may occupy downstream.
+
+        * direct networks: distance-class VC ``hops`` (deadlock
+          avoidance on cyclic graphs);
+        * folded Clos with Valiant: lower half during the
+          randomization phase, upper half afterwards (each phase's
+          up/down sub-route is acyclic; the class jump orders the
+          phases);
+        * plain folded Clos: all VCs (up/down needs none).
+        """
+        vcs = self.params.virtual_channels
+        if self._direct:
+            w = min(packet.hops, vcs - 1)
+            return w, w + 1
+        if self.params.valiant:
+            half = vcs // 2
+            return (0, half) if packet.via is not None else (half, vcs)
+        return 0, vcs
+
+    # ------------------------------------------------------------------
+    # Routing helper
+    # ------------------------------------------------------------------
+    def _output_candidates(self, switch: int, packet: Packet) -> list[int]:
+        """Viable output channel ids for ``packet`` at ``switch``.
+
+        Empty list means the packet must wait (all candidate ports busy
+        or out of credit).
+        """
+        if self._direct:
+            dst_switch = self.topo.terminal_switch(packet.dst)
+            if switch == dst_switch:
+                return [self.eject_channel[packet.dst]]
+            return [
+                self.link_channel[(switch, t)]
+                for t in self.direct_router.next_hops(switch, dst_switch)
+            ]
+        level = self.level_of[switch]
+        index = self.index_of[switch]
+        if packet.via is not None:
+            via_leaf = packet.via // self.topo.hosts_per_leaf
+            if level == 0 and index == via_leaf:
+                packet.via = None  # randomization phase complete
+            else:
+                direction, nbrs = self.router.next_hops(
+                    level, index, via_leaf,
+                    minimal=self.params.minimal_routing,
+                )
+                offset = self.level_offsets[
+                    level + 1 if direction == "up" else level - 1
+                ]
+                return [
+                    self.link_channel[(switch, offset + t)] for t in nbrs
+                ]
+        dst_leaf = packet.dst // self.topo.hosts_per_leaf
+        direction, nbrs = self.router.next_hops(
+            level, index, dst_leaf, minimal=self.params.minimal_routing
+        )
+        if direction == "deliver":
+            return [self.eject_channel[packet.dst]]
+        offset = self.level_offsets[level + 1 if direction == "up" else level - 1]
+        return [self.link_channel[(switch, offset + t)] for t in nbrs]
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        params = self.params
+        stats = SimStats(warmup=params.warmup_cycles, horizon=params.horizon)
+        self._stats = stats
+        rng = self.rng
+        horizon = params.horizon
+        packet_phits = params.packet_phits
+        rate = self.load / packet_phits  # packets / terminal / cycle
+
+        self._heap: list[tuple[int, int, int, int, int]] = []
+        self._seq = 0
+        self._arb_marks: set[tuple[int, int]] = set()
+
+        # Seed generation events.
+        log1m = math.log1p(-rate) if rate < 1.0 else None
+        for terminal in range(self.topo.num_terminals):
+            silent = getattr(self.traffic, "is_silent", None)
+            if silent is not None and silent(terminal):
+                continue
+            first = self._next_gap(rng, rate, log1m) - 1
+            if first <= horizon:
+                self._push(first, _EV_GEN, terminal, 0)
+
+        heap = self._heap
+        while heap:
+            time, _, kind, a, b = heapq.heappop(heap)
+            if time > horizon:
+                break
+            if kind == _EV_ARB:
+                self._arb_marks.discard((a, time))
+                self._arbitrate(a, time)
+            elif kind == _EV_CREDIT:
+                slots = self.ch_slots[a]
+                assert slots is not None
+                slots[b] += 1
+                src = self.ch_src[a]
+                if src >= 0:
+                    self._schedule_arb(src, time)
+            else:  # _EV_GEN
+                self._generate(a, time, rate, log1m, horizon)
+
+        return SimResult.from_stats(
+            stats,
+            offered_load=self.load,
+            num_terminals=self.topo.num_terminals,
+            traffic=self.traffic.name,
+            topology=self.topo.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Post-run inspection
+    # ------------------------------------------------------------------
+    def link_utilization(self) -> dict[str, float]:
+        """Switch-link utilization summary over the measurement window.
+
+        Returns ``{"mean": ..., "max": ..., "p95": ...}`` as fractions
+        of a link's phit capacity.  Call after :meth:`run`.
+        """
+        window = self.params.measure_cycles
+        fractions = sorted(
+            self.ch_busy_cycles[cid] / window
+            for cid in range(len(self.ch_kind))
+            if self.ch_kind[cid] == _LINK
+        )
+        if not fractions:
+            return {"mean": 0.0, "max": 0.0, "p95": 0.0}
+        return {
+            "mean": sum(fractions) / len(fractions),
+            "max": fractions[-1],
+            "p95": fractions[int(0.95 * (len(fractions) - 1))],
+        }
+
+    def stage_utilization(self) -> dict[str, float]:
+        """Mean link utilization per inter-level stage and direction.
+
+        Folded Clos only.  Keys look like ``"0->1 up"`` / ``"1->0
+        down"``; useful for spotting which stage saturates first (on an
+        RFC under uniform traffic the stages should load evenly).
+        """
+        if self._direct:
+            raise ValueError("stage utilization needs a folded Clos")
+        window = self.params.measure_cycles
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for cid in range(len(self.ch_kind)):
+            if self.ch_kind[cid] != _LINK:
+                continue
+            src_level = self.level_of[self.ch_src[cid]]
+            dst_level = self.level_of[self.ch_dst[cid]]
+            direction = "up" if dst_level > src_level else "down"
+            key = f"{src_level}->{dst_level} {direction}"
+            sums[key] = sums.get(key, 0.0) + self.ch_busy_cycles[cid] / window
+            counts[key] = counts.get(key, 0) + 1
+        return {key: sums[key] / counts[key] for key in sums}
+
+    def batch_accepted_loads(self) -> list[float]:
+        """Per-batch accepted loads (batch-means steady-state check)."""
+        return self._stats.batch_accepted_loads(self.topo.num_terminals)
+
+    def ejection_utilization(self) -> list[float]:
+        """Per-terminal sink occupancy -- 1.0 marks a saturated hot spot."""
+        window = self.params.measure_cycles
+        return [
+            self.ch_busy_cycles[cid] / window for cid in self.eject_channel
+        ]
+
+    # ------------------------------------------------------------------
+    # Event helpers
+    # ------------------------------------------------------------------
+    def _push(self, time: int, kind: int, a: int, b: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, a, b))
+
+    def _schedule_arb(self, switch: int, time: int) -> None:
+        mark = (switch, time)
+        if mark in self._arb_marks:
+            return
+        self._arb_marks.add(mark)
+        self._push(time, _EV_ARB, switch, 0)
+
+    @staticmethod
+    def _next_gap(rng: random.Random, rate: float, log1m: float | None) -> int:
+        if log1m is None:
+            return 1
+        u = rng.random()
+        return int(math.log(u) / log1m) + 1 if u > 0.0 else 1
+
+    def _generate(
+        self,
+        terminal: int,
+        time: int,
+        rate: float,
+        log1m: float | None,
+        horizon: int,
+    ) -> None:
+        try:
+            dst = self.traffic.destination(terminal, self.rng)
+        except LookupError:
+            return
+        packet = Packet(terminal, dst, time, serial=self._next_serial)
+        self._next_serial += 1
+        if packet.serial < self.trace_limit:
+            self.traces[packet.serial] = [(time, "generate", terminal)]
+        self._stats.on_generated(time)
+        if self.params.valiant and not self._direct:
+            self._assign_valiant_via(packet)
+        if self._direct:
+            unroutable = not self.direct_router.reachable(
+                self.topo.terminal_switch(terminal),
+                self.topo.terminal_switch(dst),
+            )
+        else:
+            unroutable = (
+                self.router.min_ascent(
+                    0,
+                    terminal // self.topo.hosts_per_leaf,
+                    dst // self.topo.hosts_per_leaf,
+                )
+                < 0
+            )
+        if unroutable:
+            self.unroutable_packets += 1
+        else:
+            cid = self.inject_channel[terminal]
+            queue = self.ch_queues[cid][0]
+            queue.append((time, packet))
+            if len(queue) > self.max_inject_queue:
+                self.max_inject_queue = len(queue)
+            if len(queue) == 1:
+                self._schedule_arb(self.ch_dst[cid], max(time, self.ch_blocked[cid]))
+        nxt = time + self._next_gap(self.rng, rate, log1m)
+        if nxt <= horizon:
+            self._push(nxt, _EV_GEN, terminal, 0)
+
+    def _assign_valiant_via(self, packet: Packet) -> None:
+        """Pick a random intermediate with both phases routable."""
+        hosts = self.topo.hosts_per_leaf
+        src_leaf = packet.src // hosts
+        dst_leaf = packet.dst // hosts
+        for _ in range(8):
+            via = self.rng.randrange(self.topo.num_terminals)
+            via_leaf = via // hosts
+            if (
+                self.router.min_ascent(0, src_leaf, via_leaf) >= 0
+                and self.router.min_ascent(0, via_leaf, dst_leaf) >= 0
+            ):
+                packet.via = via
+                return
+        # No routable intermediate found; fall back to direct routing
+        # (the injection-time reachability check still applies).
+        packet.via = None
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+    def _arbitrate(self, switch: int, time: int) -> None:
+        """Separable request/grant allocation for one switch-cycle.
+
+        Runs ``arbitration_iterations`` rounds (Table 2 uses 1): each
+        round, every eligible head packet requests one viable output
+        (random or adaptive per config) and each output grants one
+        random requester.  An input *channel* moves at most one packet
+        per cycle regardless of how many VCs it holds (crossbar input
+        bandwidth), and granted outputs turn busy, so later rounds only
+        match the leftovers.
+        """
+        rng = self.rng
+        ch_busy = self.ch_busy
+        ch_slots = self.ch_slots
+        granted_inputs: set[int] = set()
+        any_grant = False
+        for _ in range(self.params.arbitration_iterations):
+            requests: dict[int, list[tuple[int, int, Packet]]] = {}
+            for cid, vc in self.in_units[switch]:
+                if cid in granted_inputs:
+                    continue
+                if self.ch_kind[cid] == _INJECT and self.ch_blocked[cid] > time:
+                    continue
+                queue = self.ch_queues[cid][vc]
+                if not queue:
+                    continue
+                ready, packet = queue[0]
+                if ready > time:
+                    continue
+                candidates = self._output_candidates(switch, packet)
+                viable = []
+                vc_lo, vc_hi = self._vc_class(packet)
+                for out in candidates:
+                    if ch_busy[out] > time:
+                        continue
+                    slots = ch_slots[out]
+                    if slots is not None and not any(
+                        slots[w] > 0 for w in range(vc_lo, vc_hi)
+                    ):
+                        continue
+                    viable.append(out)
+                if not viable:
+                    continue
+                if len(viable) == 1:
+                    out = viable[0]
+                elif self.params.up_selection == "adaptive":
+                    out = self._most_credited(viable, vc_lo, vc_hi, rng)
+                else:
+                    out = rng.choice(viable)
+                requests.setdefault(out, []).append((cid, vc, packet))
+
+            if not requests:
+                break
+            rotating = self.params.arbiter == "rotating"
+            for out, contenders in requests.items():
+                if len(contenders) == 1:
+                    cid, vc, packet = contenders[0]
+                elif rotating:
+                    cid, vc, packet = self._rotate_pick(out, contenders)
+                else:
+                    cid, vc, packet = rng.choice(contenders)
+                self._grant(switch, cid, vc, packet, out, time)
+                granted_inputs.add(cid)
+                any_grant = True
+        if any_grant:
+            self._schedule_arb(switch, time + 1)
+
+    def _rotate_pick(
+        self, out: int, contenders: list[tuple[int, int, "Packet"]]
+    ) -> tuple[int, int, "Packet"]:
+        """Round-robin grant: lowest contender above the output's pointer."""
+        pointers = getattr(self, "_arb_pointers", None)
+        if pointers is None:
+            pointers = self._arb_pointers = {}
+        pointer = pointers.get(out, -1)
+        ordered = sorted(contenders, key=lambda c: (c[0], c[1]))
+        chosen = next(
+            (c for c in ordered if c[0] > pointer), ordered[0]
+        )
+        pointers[out] = chosen[0]
+        return chosen
+
+    def _most_credited(
+        self,
+        viable: list[int],
+        vc_lo: int,
+        vc_hi: int,
+        rng: random.Random,
+    ) -> int:
+        """Adaptive selection: candidate with most free downstream slots."""
+        best: list[int] = []
+        best_credit = -1
+        for out in viable:
+            slots = self.ch_slots[out]
+            credit = (
+                sum(slots[vc_lo:vc_hi])
+                if slots is not None
+                else self.params.buffer_packets * (vc_hi - vc_lo)
+            )
+            if credit > best_credit:
+                best_credit = credit
+                best = [out]
+            elif credit == best_credit:
+                best.append(out)
+        return best[0] if len(best) == 1 else rng.choice(best)
+
+    def _grant(
+        self,
+        switch: int,
+        in_cid: int,
+        in_vc: int,
+        packet: Packet,
+        out: int,
+        time: int,
+    ) -> None:
+        params = self.params
+        phits = params.packet_phits
+        latency = params.link_latency
+        rng = self.rng
+
+        self.ch_queues[in_cid][in_vc].popleft()
+        self.ch_busy[out] = time + phits
+        # Utilization accounting: busy cycles within the measurement
+        # window (clipped at both ends).
+        lo = max(time, params.warmup_cycles)
+        hi = min(time + phits, params.horizon)
+        if hi > lo:
+            self.ch_busy_cycles[out] += hi - lo
+        # Wake this switch when the output port frees again.
+        self._schedule_arb(switch, time + phits)
+
+        if packet.serial < self.trace_limit and packet.serial >= 0:
+            trace = self.traces.get(packet.serial)
+            if trace is not None:
+                peer = self.ch_peer[out]
+                kind_name = (
+                    "eject" if self.ch_kind[out] == _EJECT else "forward"
+                )
+                trace.append((time, kind_name, peer))
+
+        kind = self.ch_kind[out]
+        if kind == _EJECT:
+            self._stats.on_delivered(packet, time + latency + phits - 1, phits)
+        else:
+            slots = self.ch_slots[out]
+            assert slots is not None
+            vc_lo, vc_hi = self._vc_class(packet)
+            free_vcs = [
+                wi for wi in range(vc_lo, vc_hi) if slots[wi] > 0
+            ]
+            w = free_vcs[0] if len(free_vcs) == 1 else rng.choice(free_vcs)
+            slots[w] -= 1
+            packet.hops += 1
+            self.ch_queues[out][w].append((time + latency, packet))
+            self._schedule_arb(self.ch_dst[out], time + latency)
+
+        if self.ch_kind[in_cid] == _LINK:
+            self._push(time + phits, _EV_CREDIT, in_cid, in_vc)
+        else:  # injection link is busy until the tail leaves the host
+            self.ch_blocked[in_cid] = time + phits
+            if packet.injected is None:
+                packet.injected = time
+            self._stats.on_injected(time)
+            if self.ch_queues[in_cid][0]:
+                self._schedule_arb(switch, time + phits)
+
+
+def simulate(
+    topo: FoldedClos | DirectNetwork,
+    traffic: TrafficPattern,
+    load: float,
+    params: SimulationParams | None = None,
+    removed_links: Iterable[Link] | None = None,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(topo, traffic, load, params, removed_links).run()
+
+
+def load_sweep(
+    topo: FoldedClos,
+    traffic_name: str,
+    loads: Iterable[float],
+    params: SimulationParams | None = None,
+    removed_links: Iterable[Link] | None = None,
+) -> list[SimResult]:
+    """Simulate a list of offered loads with a shared traffic pattern.
+
+    The pattern is re-instantiated per run with a seed derived from the
+    simulation seed, so random-pairing/fixed-random keep identical
+    pairings across the sweep (the paper averages over several seeds;
+    callers can loop over ``params.scaled(seed=...)``).
+    """
+    from .traffic import make_traffic
+
+    params = params or SimulationParams()
+    results = []
+    for load in loads:
+        traffic = make_traffic(
+            traffic_name, topo.num_terminals, rng=params.seed + 7_919
+        )
+        results.append(simulate(topo, traffic, load, params, removed_links))
+    return results
+
+
+def saturation_throughput(
+    topo: FoldedClos,
+    traffic_name: str,
+    params: SimulationParams | None = None,
+    removed_links: Iterable[Link] | None = None,
+) -> float:
+    """Accepted load at offered load 1.0 (the paper's max throughput)."""
+    from .traffic import make_traffic
+
+    params = params or SimulationParams()
+    traffic = make_traffic(
+        traffic_name, topo.num_terminals, rng=params.seed + 7_919
+    )
+    return simulate(topo, traffic, 1.0, params, removed_links).accepted_load

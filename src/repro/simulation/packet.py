@@ -1,0 +1,40 @@
+"""Packet record used by the cycle-driven simulator."""
+
+from __future__ import annotations
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """A fixed-length packet travelling terminal to terminal.
+
+    Identity and bookkeeping only -- payload is irrelevant to network
+    performance.  ``hops`` counts switch-to-switch traversals for path
+    length statistics.  ``via`` carries the Valiant intermediate
+    terminal while the packet is in its randomization phase (``None``
+    once past it, or when Valiant routing is off).
+    """
+
+    __slots__ = ("src", "dst", "created", "hops", "injected", "via", "serial")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        created: int,
+        via: int | None = None,
+        serial: int = -1,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.created = created
+        self.injected: int | None = None
+        self.via = via
+        self.serial = serial
+        self.hops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.src}->{self.dst} t={self.created} "
+            f"hops={self.hops})"
+        )

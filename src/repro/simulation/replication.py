@@ -1,0 +1,78 @@
+"""Replicated simulation runs (the paper averages >= 5 per point).
+
+Each replication re-seeds the engine (and the traffic pattern's random
+pairing/targets) deterministically from a base seed, so an aggregate is
+itself reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from ..topologies.base import DirectNetwork, FoldedClos
+from .config import SimulationParams
+from .engine import simulate
+from .stats import SimResult
+from .traffic import make_traffic
+
+__all__ = ["AggregateResult", "replicated_point"]
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean and spread of a replicated simulation point."""
+
+    offered_load: float
+    replications: int
+    accepted_mean: float
+    accepted_stdev: float
+    latency_mean: float
+    latency_stdev: float
+    traffic: str
+    topology: str
+    results: tuple[SimResult, ...]
+
+    def row(self) -> str:
+        return (
+            f"{self.topology:<28} {self.traffic:<15} "
+            f"load={self.offered_load:5.2f} "
+            f"accepted={self.accepted_mean:6.3f}+-{self.accepted_stdev:5.3f} "
+            f"latency={self.latency_mean:8.1f}+-{self.latency_stdev:6.1f}"
+        )
+
+
+def replicated_point(
+    topo: FoldedClos | DirectNetwork,
+    traffic_name: str,
+    load: float,
+    params: SimulationParams | None = None,
+    replications: int = 5,
+) -> AggregateResult:
+    """Average ``replications`` independent runs of one load point."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    params = params or SimulationParams()
+    results: list[SimResult] = []
+    for i in range(replications):
+        seed = params.seed + 1_000_003 * i
+        traffic = make_traffic(traffic_name, topo.num_terminals, rng=seed + 1)
+        results.append(
+            simulate(topo, traffic, load, params.scaled(seed=seed))
+        )
+    accepted = [r.accepted_load for r in results]
+    latencies = [r.avg_latency for r in results if not math.isnan(r.avg_latency)]
+    return AggregateResult(
+        offered_load=load,
+        replications=replications,
+        accepted_mean=statistics.fmean(accepted),
+        accepted_stdev=statistics.stdev(accepted) if len(accepted) > 1 else 0.0,
+        latency_mean=statistics.fmean(latencies) if latencies else float("nan"),
+        latency_stdev=(
+            statistics.stdev(latencies) if len(latencies) > 1 else 0.0
+        ),
+        traffic=traffic_name,
+        topology=getattr(topo, "name", "network"),
+        results=tuple(results),
+    )

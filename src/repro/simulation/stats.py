@@ -1,0 +1,149 @@
+"""Measurement collection for simulator runs.
+
+Statistics follow the paper's reporting:
+
+* **accepted load** -- delivered phits per terminal per cycle inside
+  the measurement window, normalized so 1.0 means every compute node
+  sinks one phit every cycle;
+* **average latency** -- generation-to-tail-delivery cycles averaged
+  over packets delivered inside the window (includes source queueing,
+  so it diverges as the network saturates, as in Figures 8-10);
+* auxiliary counters (injected/delivered packets, hop counts) used by
+  tests and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimStats", "SimResult"]
+
+
+@dataclass
+class SimStats:
+    """Mutable counters filled in by the engine during a run."""
+
+    warmup: int
+    horizon: int
+    generated_packets: int = 0
+    injected_packets: int = 0
+    delivered_packets: int = 0
+    measured_packets: int = 0
+    measured_phits: int = 0
+    measured_latency_sum: int = 0
+    measured_hops_sum: int = 0
+    max_latency: int = 0
+    latencies: list[int] = field(default_factory=list)
+    num_batches: int = 10
+    batch_phits: list[int] = field(default_factory=list)
+
+    def on_generated(self, time: int) -> None:
+        self.generated_packets += 1
+
+    def on_injected(self, time: int) -> None:
+        self.injected_packets += 1
+
+    def on_delivered(self, packet, time: int, packet_phits: int) -> None:
+        self.delivered_packets += 1
+        if time < self.warmup or time > self.horizon:
+            return
+        if not self.batch_phits:
+            self.batch_phits = [0] * self.num_batches
+        window = self.horizon - self.warmup
+        bucket = min(
+            self.num_batches - 1,
+            (time - self.warmup) * self.num_batches // max(1, window),
+        )
+        self.batch_phits[bucket] += packet_phits
+        latency = time - packet.created
+        self.measured_packets += 1
+        self.measured_phits += packet_phits
+        self.measured_latency_sum += latency
+        self.measured_hops_sum += packet.hops
+        self.latencies.append(latency)
+        if latency > self.max_latency:
+            self.max_latency = latency
+
+    def batch_accepted_loads(self, num_terminals: int) -> list[float]:
+        """Per-batch normalized accepted load (batch-means method).
+
+        Splitting the measurement window into equal batches gives a
+        crude steady-state confidence signal: wildly differing batches
+        mean the warm-up was too short or the run too small.
+        """
+        if not self.batch_phits:
+            return []
+        window = self.horizon - self.warmup
+        batch_cycles = window / self.num_batches
+        return [
+            phits / (num_terminals * batch_cycles)
+            for phits in self.batch_phits
+        ]
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile over measured packets (NaN when empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+        return float(ordered[index])
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Immutable summary of one simulation run."""
+
+    offered_load: float
+    accepted_load: float
+    avg_latency: float
+    avg_hops: float
+    generated_packets: int
+    delivered_packets: int
+    measured_packets: int
+    max_latency: int
+    p50_latency: float
+    p99_latency: float
+    traffic: str
+    topology: str
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: SimStats,
+        offered_load: float,
+        num_terminals: int,
+        traffic: str,
+        topology: str,
+    ) -> "SimResult":
+        cycles = stats.horizon - stats.warmup
+        accepted = stats.measured_phits / (num_terminals * cycles)
+        if stats.measured_packets:
+            latency = stats.measured_latency_sum / stats.measured_packets
+            hops = stats.measured_hops_sum / stats.measured_packets
+        else:
+            latency = float("nan")
+            hops = float("nan")
+        return cls(
+            offered_load=offered_load,
+            accepted_load=accepted,
+            avg_latency=latency,
+            avg_hops=hops,
+            generated_packets=stats.generated_packets,
+            delivered_packets=stats.delivered_packets,
+            measured_packets=stats.measured_packets,
+            max_latency=stats.max_latency,
+            p50_latency=stats.latency_percentile(0.50),
+            p99_latency=stats.latency_percentile(0.99),
+            traffic=traffic,
+            topology=topology,
+        )
+
+    def row(self) -> str:
+        """One formatted report line (load, accepted, latency)."""
+        return (
+            f"{self.topology:<28} {self.traffic:<15} "
+            f"load={self.offered_load:5.2f} accepted={self.accepted_load:6.3f} "
+            f"latency={self.avg_latency:8.1f}"
+        )

@@ -1,0 +1,188 @@
+"""Synthetic traffic patterns of the paper's Section 6.
+
+Adapted (as in the paper) from the Blue Gene/Q evaluation suite:
+
+* **uniform** -- every packet draws an independent uniformly random
+  destination (excluding the source terminal);
+* **random-pairing** -- terminals are matched into fixed pairs at the
+  start and only talk to their partner (a random permutation built from
+  transpositions, the paper's permutation-style adversarial load);
+* **fixed-random** -- every terminal picks one fixed uniformly random
+  destination (not itself) at the start; several sources may pick the
+  same destination, creating hot spots.
+
+Patterns are deterministic given their RNG seed, so simulator runs are
+reproducible and the same pattern instance can be replayed against
+different topologies of equal terminal count.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "TrafficPattern",
+    "UniformTraffic",
+    "RandomPairingTraffic",
+    "FixedRandomTraffic",
+    "LocalityTraffic",
+    "ShuffleTraffic",
+    "make_traffic",
+    "TRAFFIC_NAMES",
+    "EXTENDED_TRAFFIC_NAMES",
+]
+
+TRAFFIC_NAMES = ("uniform", "random-pairing", "fixed-random")
+EXTENDED_TRAFFIC_NAMES = TRAFFIC_NAMES + ("locality", "shuffle")
+
+
+class TrafficPattern:
+    """Destination generator over ``num_terminals`` endpoints."""
+
+    name = "abstract"
+
+    def __init__(self, num_terminals: int) -> None:
+        if num_terminals < 2:
+            raise ValueError("traffic needs at least two terminals")
+        self.num_terminals = num_terminals
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        """Destination terminal for the next packet of ``source``."""
+        raise NotImplementedError
+
+
+class UniformTraffic(TrafficPattern):
+    """Independent uniformly random destination per packet."""
+
+    name = "uniform"
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        dest = rng.randrange(self.num_terminals - 1)
+        return dest if dest < source else dest + 1
+
+
+class RandomPairingTraffic(TrafficPattern):
+    """Fixed random pairing: each terminal talks to its partner.
+
+    With an odd terminal count one terminal is left unpaired and stays
+    silent (it still receives nothing), matching the usual handling.
+    """
+
+    name = "random-pairing"
+
+    def __init__(self, num_terminals: int, rng: random.Random | int | None = None) -> None:
+        super().__init__(num_terminals)
+        rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+        order = list(range(num_terminals))
+        rand.shuffle(order)
+        self.partner: list[int | None] = [None] * num_terminals
+        for i in range(0, num_terminals - 1, 2):
+            a, b = order[i], order[i + 1]
+            self.partner[a] = b
+            self.partner[b] = a
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        partner = self.partner[source]
+        if partner is None:
+            raise LookupError(f"terminal {source} is unpaired and silent")
+        return partner
+
+    def is_silent(self, source: int) -> bool:
+        return self.partner[source] is None
+
+
+class FixedRandomTraffic(TrafficPattern):
+    """Each source keeps one random destination for the whole run."""
+
+    name = "fixed-random"
+
+    def __init__(self, num_terminals: int, rng: random.Random | int | None = None) -> None:
+        super().__init__(num_terminals)
+        rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.target: list[int] = []
+        for source in range(num_terminals):
+            dest = rand.randrange(num_terminals - 1)
+            self.target.append(dest if dest < source else dest + 1)
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        return self.target[source]
+
+
+class LocalityTraffic(TrafficPattern):
+    """Rack-local bias: intra-group with probability ``locality``.
+
+    Models the cross-rack-optimized MapReduce placement the paper's
+    introduction cites: a fraction of traffic stays within the source's
+    group (rack / leaf switch), the rest is uniform.  ``group_size``
+    should normally be the topology's ``hosts_per_leaf``.
+    """
+
+    name = "locality"
+
+    def __init__(
+        self,
+        num_terminals: int,
+        group_size: int = 4,
+        locality: float = 0.7,
+    ) -> None:
+        super().__init__(num_terminals)
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be a probability")
+        self.group_size = group_size
+        self.locality = locality
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        group = source // self.group_size
+        base = group * self.group_size
+        members = min(self.group_size, self.num_terminals - base)
+        if members > 1 and rng.random() < self.locality:
+            dest = base + rng.randrange(members - 1)
+            return dest if dest < source else dest + 1
+        dest = rng.randrange(self.num_terminals - 1)
+        return dest if dest < source else dest + 1
+
+
+class ShuffleTraffic(TrafficPattern):
+    """All-to-all shuffle in rotating waves (MapReduce shuffle phase).
+
+    Wave ``w`` sends terminal ``i``'s packets to ``(i + w) mod T``;
+    successive packets from one source advance its wave pointer, so
+    over time every source spreads over every destination while at any
+    instant the pattern is a clean permutation.
+    """
+
+    name = "shuffle"
+
+    def __init__(self, num_terminals: int) -> None:
+        super().__init__(num_terminals)
+        self._wave = [1] * num_terminals
+
+    def destination(self, source: int, rng: random.Random) -> int:
+        offset = self._wave[source]
+        self._wave[source] = offset % (self.num_terminals - 1) + 1
+        return (source + offset) % self.num_terminals
+
+
+def make_traffic(
+    name: str,
+    num_terminals: int,
+    rng: random.Random | int | None = None,
+) -> TrafficPattern:
+    """Factory by paper name: uniform / random-pairing / fixed-random."""
+    key = name.lower().replace("_", "-")
+    if key == "uniform":
+        return UniformTraffic(num_terminals)
+    if key == "random-pairing":
+        return RandomPairingTraffic(num_terminals, rng=rng)
+    if key == "fixed-random":
+        return FixedRandomTraffic(num_terminals, rng=rng)
+    if key == "locality":
+        return LocalityTraffic(num_terminals)
+    if key == "shuffle":
+        return ShuffleTraffic(num_terminals)
+    raise ValueError(
+        f"unknown traffic {name!r}; expected one of "
+        f"{EXTENDED_TRAFFIC_NAMES}"
+    )

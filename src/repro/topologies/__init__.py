@@ -1,0 +1,47 @@
+"""Topology substrates: network model, deterministic and random families."""
+
+from .base import DirectNetwork, FoldedClos, Link, NetworkError
+from .fattree import (
+    commodity_fat_tree,
+    k_ary_l_tree,
+    partially_populated_cft,
+    xgft,
+)
+from .galois import GaloisField, field, is_prime_power, nearest_prime_power
+from .io import from_json, load, save, to_dot, to_edge_list, to_json
+from .oft import orthogonal_fat_tree
+from .projective import ProjectivePlane, projective_plane
+from .random_graphs import (
+    GenerationError,
+    random_bipartite_graph,
+    random_regular_graph,
+)
+from .rrn import random_regular_network
+
+__all__ = [
+    "DirectNetwork",
+    "FoldedClos",
+    "Link",
+    "NetworkError",
+    "GenerationError",
+    "commodity_fat_tree",
+    "partially_populated_cft",
+    "k_ary_l_tree",
+    "xgft",
+    "to_json",
+    "from_json",
+    "save",
+    "load",
+    "to_edge_list",
+    "to_dot",
+    "orthogonal_fat_tree",
+    "random_regular_network",
+    "random_regular_graph",
+    "random_bipartite_graph",
+    "GaloisField",
+    "field",
+    "is_prime_power",
+    "nearest_prime_power",
+    "ProjectivePlane",
+    "projective_plane",
+]

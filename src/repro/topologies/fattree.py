@@ -1,0 +1,236 @@
+"""Deterministic fat-tree constructions (paper Definition 3.2).
+
+The paper's deterministic baselines are all *extended generalized fat
+trees* (XGFTs, Ohring et al. 1995): an ``l``-level XGFT is described by
+per-level child counts ``m_1..m_l`` and parent counts ``w_1..w_l``,
+where a level-``i`` node has ``m_i`` children and each level-``(i-1)``
+node has ``w_i`` parents.  This module builds them as
+:class:`~repro.topologies.base.FoldedClos` instances and provides the
+two named specializations used throughout the paper:
+
+* :func:`k_ary_l_tree` -- the Petrini--Vanneschi ``k``-ary ``l``-tree:
+  arities all ``k``, radix ``2k``, ``k^l`` compute nodes.
+* :func:`commodity_fat_tree` -- the ``R``-commodity fat-tree (CFT) of
+  Al-Fares et al.: radix-regular, arities ``R/2`` except the top arity
+  ``R``, connecting ``2 * (R/2)^l`` compute nodes.
+
+Wiring rule: a level-``i`` switch is labelled by a pair of mixed-radix
+words ``(t, c)`` -- ``t`` locates the sub-tree branch above it (radices
+``m_{i+1}..m_l``), ``c`` locates it among its sub-tree's same-level
+switches (radices ``w_1..w_i``).  Switch ``(t, c)`` at level ``i``
+connects up to ``(t // m_{i+1}, c + d * W_i)`` for every
+``d in [0, w_{i+1})``, which yields exactly the recursive structure of
+Definition 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .base import FoldedClos, NetworkError
+
+__all__ = [
+    "xgft",
+    "k_ary_l_tree",
+    "commodity_fat_tree",
+    "partially_populated_cft",
+    "cft_terminals",
+    "cft_level_sizes",
+    "cft_switches",
+    "cft_wires",
+    "cft_levels_for_terminals",
+    "cft_radix_for",
+]
+
+
+def xgft(
+    child_counts: Sequence[int],
+    parent_counts: Sequence[int],
+    name: str | None = None,
+    radix: int | None = None,
+) -> FoldedClos:
+    """Build the extended generalized fat tree XGFT(l; m; w).
+
+    Parameters
+    ----------
+    child_counts:
+        ``[m_1, ..., m_l]``; ``m_1`` is the number of compute nodes per
+        leaf switch and ``m_i`` the down-degree of level-``i`` switches.
+    parent_counts:
+        ``[w_1, ..., w_l]``; ``w_1`` is ignored by convention (compute
+        nodes have one parent) and ``w_{i+1}`` is the up-degree of
+        level-``i`` switches.
+    radix:
+        Nominal switch radix recorded on the result; defaults to the
+        maximum port count actually used by any switch.
+    """
+    if len(child_counts) != len(parent_counts):
+        raise NetworkError("child_counts and parent_counts must align")
+    levels = len(child_counts)
+    if levels < 1:
+        raise NetworkError("an XGFT needs at least one level")
+    if any(m < 1 for m in child_counts) or any(w < 1 for w in parent_counts):
+        raise NetworkError("all m_i and w_i must be positive")
+
+    m = list(child_counts)
+    w = list(parent_counts)
+
+    # W_i = prod(w_1..w_i), M_i = prod(m_{i+1}..m_l); level i has M_i * W_i
+    # switches (1-based levels in the math, 0-based lists in the code).
+    w_prod = [1] * (levels + 1)
+    for i in range(1, levels + 1):
+        w_prod[i] = w_prod[i - 1] * w[i - 1]
+    m_suffix = [1] * (levels + 1)
+    for i in range(levels - 1, -1, -1):
+        m_suffix[i] = m_suffix[i + 1] * m[i]
+
+    level_sizes = [m_suffix[i + 1] * w_prod[i + 1] for i in range(levels)]
+
+    up_adjacency: list[list[list[int]]] = []
+    for i in range(levels - 1):
+        # Level index i is 0-based: paper level i+1.
+        n_here = level_sizes[i]
+        w_here = w_prod[i + 1]  # size of the c-word at this level
+        m_next = m[i + 1]  # branch radix consumed when going up
+        fan_up = w[i + 1]  # up-degree
+        stage: list[list[int]] = []
+        for s in range(n_here):
+            t_lin, c_lin = divmod(s, w_here)
+            t_up = t_lin // m_next
+            base = t_up * (w_here * fan_up)
+            stage.append([base + d * w_here + c_lin for d in range(fan_up)])
+        up_adjacency.append(stage)
+
+    hosts = m[0]
+    if radix is None:
+        used = [hosts + (w[1] if levels > 1 else 0)]
+        for i in range(1, levels):
+            up = w[i + 1] if i < levels - 1 else 0
+            used.append(m[i] + up)
+        radix = max(used)
+    topo = FoldedClos(
+        level_sizes,
+        up_adjacency,
+        hosts_per_leaf=hosts,
+        radix=radix,
+        name=name or f"xgft(l={levels})",
+    )
+    return topo
+
+
+def k_ary_l_tree(k: int, levels: int) -> FoldedClos:
+    """The ``k``-ary ``l``-tree of Petrini and Vanneschi.
+
+    Radix ``2k`` switches, ``k^l`` compute nodes, ``l * k^(l-1)``
+    switches in total.
+    """
+    if k < 2:
+        raise NetworkError(f"k-ary tree needs k >= 2, got {k}")
+    if levels < 1:
+        raise NetworkError(f"need at least one level, got {levels}")
+    child = [k] * levels
+    parent = [1] + [k] * (levels - 1)
+    return xgft(child, parent, name=f"{k}-ary {levels}-tree", radix=2 * k)
+
+
+def partially_populated_cft(radix: int, levels: int, hosts: int) -> FoldedClos:
+    """A CFT with only ``hosts`` compute nodes per leaf (< R/2).
+
+    Models the paper's intermediate-expansion scenario: a fully
+    equipped switch fabric whose leaf ports are partially populated,
+    "leaving free ports for future expansion".  The switch fabric is
+    identical to :func:`commodity_fat_tree`; only the terminal count
+    differs, so the network is no longer radix-regular.
+    """
+    if not 1 <= hosts <= radix // 2:
+        raise NetworkError(
+            f"hosts per leaf must be in 1..{radix // 2}, got {hosts}"
+        )
+    half = radix // 2
+    if levels < 2:
+        raise NetworkError("partial population needs at least 2 levels")
+    child = [hosts] + [half] * (levels - 2) + [radix]
+    parent = [1] + [half] * (levels - 1)
+    return xgft(
+        child,
+        parent,
+        name=f"{radix}-CFT(l={levels}, hosts={hosts})",
+        radix=radix,
+    )
+
+
+def commodity_fat_tree(radix: int, levels: int) -> FoldedClos:
+    """The ``R``-commodity fat-tree (CFT) with ``levels`` levels.
+
+    Radix-regular: arities ``R/2`` at every level except ``k_l = R``.
+    Connects ``2 * (R/2)^levels`` compute nodes with ``R/2`` per leaf.
+    For ``levels == 1`` this degenerates to a single radix-``R`` switch
+    with ``R`` terminals.
+    """
+    if radix < 2 or radix % 2 != 0:
+        raise NetworkError(f"CFT needs an even radix >= 2, got {radix}")
+    if levels < 1:
+        raise NetworkError(f"need at least one level, got {levels}")
+    half = radix // 2
+    if levels == 1:
+        return xgft([radix], [1], name=f"{radix}-CFT(l=1)", radix=radix)
+    if half < 2:
+        raise NetworkError(f"radix {radix} too small for {levels} levels")
+    child = [half] * (levels - 1) + [radix]
+    parent = [1] + [half] * (levels - 1)
+    topo = xgft(child, parent, name=f"{radix}-CFT(l={levels})", radix=radix)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# Closed-form CFT accounting (used by the cost/scalability experiments,
+# cheap enough to call at paper scale without building the topology).
+# ----------------------------------------------------------------------
+
+def cft_terminals(radix: int, levels: int) -> int:
+    """Compute nodes of the ``radix``-CFT: ``2 * (R/2)^l``."""
+    if levels == 1:
+        return radix
+    return 2 * (radix // 2) ** levels
+
+
+def cft_level_sizes(radix: int, levels: int) -> list[int]:
+    """Switch counts per level of the ``radix``-CFT."""
+    if levels == 1:
+        return [1]
+    half = radix // 2
+    n1 = 2 * half ** (levels - 1)
+    return [n1] * (levels - 1) + [n1 // 2]
+
+
+def cft_switches(radix: int, levels: int) -> int:
+    """Total switches of the ``radix``-CFT."""
+    return sum(cft_level_sizes(radix, levels))
+
+
+def cft_wires(radix: int, levels: int) -> int:
+    """Switch-to-switch cables of the ``radix``-CFT."""
+    sizes = cft_level_sizes(radix, levels)
+    half = radix // 2
+    return sum(sizes[i] * half for i in range(len(sizes) - 1))
+
+
+def cft_levels_for_terminals(radix: int, terminals: int) -> int:
+    """Smallest level count whose CFT reaches ``terminals`` nodes."""
+    levels = 1
+    while cft_terminals(radix, levels) < terminals:
+        levels += 1
+        if levels > 64:
+            raise NetworkError(
+                f"radix {radix} cannot reach {terminals} terminals"
+            )
+    return levels
+
+
+def cft_radix_for(terminals: int, levels: int) -> int:
+    """Smallest even radix whose ``levels``-level CFT reaches ``terminals``."""
+    half = max(2, math.ceil((terminals / 2) ** (1.0 / levels)))
+    while 2 * half**levels < terminals:
+        half += 1
+    return 2 * half

@@ -1,0 +1,272 @@
+"""Finite (Galois) field arithmetic GF(p^n).
+
+Orthogonal fat-trees are built from projective planes PG(2, q), which
+exist for every prime power ``q``.  This module provides the field
+substrate: :class:`GaloisField` implements GF(q) for ``q = p^n`` with
+
+* prime fields computed directly modulo ``p``;
+* extension fields represented as polynomials over GF(p) modulo a monic
+  irreducible polynomial found by exhaustive search (fine for the small
+  ``q`` used in network construction -- the search is O(p^n * n^2) per
+  candidate and runs once).
+
+Elements are plain integers ``0 .. q-1``; an extension-field element
+``e`` encodes the polynomial with coefficient ``(e // p^i) % p`` on
+``x^i``.  Addition/multiplication tables are precomputed for ``q`` up
+to :data:`TABLE_LIMIT` so the hot projective-plane loops are table
+lookups.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "GaloisField",
+    "field",
+    "is_prime",
+    "is_prime_power",
+    "prime_power_decomposition",
+    "nearest_prime_power",
+]
+
+TABLE_LIMIT = 64
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality check, adequate for field orders."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def prime_power_decomposition(q: int) -> tuple[int, int] | None:
+    """Return ``(p, n)`` with ``q == p**n`` and ``p`` prime, else None."""
+    if q < 2:
+        return None
+    for p in range(2, q + 1):
+        if p * p > q:
+            break
+        if q % p:
+            continue
+        n = 0
+        m = q
+        while m % p == 0:
+            m //= p
+            n += 1
+        return (p, n) if m == 1 else None
+    return (q, 1) if is_prime(q) else None
+
+
+def is_prime_power(q: int) -> bool:
+    return prime_power_decomposition(q) is not None
+
+
+def nearest_prime_power(q: int) -> int:
+    """The prime power closest to ``q`` (ties resolved downward)."""
+    if q < 2:
+        return 2
+    for delta in range(q):
+        if is_prime_power(q - delta):
+            return q - delta
+        if is_prime_power(q + delta):
+            return q + delta
+    return 2
+
+
+class GaloisField:
+    """The finite field GF(q) for a prime power ``q``.
+
+    Elements are the integers ``0 .. q-1``.  The additive and
+    multiplicative structure is exposed through :meth:`add`,
+    :meth:`mul`, :meth:`neg`, :meth:`inv` and :meth:`sub`.
+    """
+
+    def __init__(self, q: int) -> None:
+        decomposition = prime_power_decomposition(q)
+        if decomposition is None:
+            raise ValueError(f"{q} is not a prime power")
+        self.order = q
+        self.characteristic, self.degree = decomposition
+        if self.degree == 1:
+            self._modulus_coeffs: tuple[int, ...] | None = None
+        else:
+            self._modulus_coeffs = self._find_irreducible()
+        if q <= TABLE_LIMIT:
+            self._add_table = [
+                [self._add_slow(a, b) for b in range(q)] for a in range(q)
+            ]
+            self._mul_table = [
+                [self._mul_slow(a, b) for b in range(q)] for a in range(q)
+            ]
+        else:
+            self._add_table = None
+            self._mul_table = None
+
+    # ------------------------------------------------------------------
+    # Polynomial plumbing (extension fields)
+    # ------------------------------------------------------------------
+    def _int_to_poly(self, e: int) -> list[int]:
+        p = self.characteristic
+        coeffs = []
+        for _ in range(self.degree):
+            coeffs.append(e % p)
+            e //= p
+        return coeffs
+
+    def _poly_to_int(self, coeffs: list[int]) -> int:
+        p = self.characteristic
+        value = 0
+        for c in reversed(coeffs):
+            value = value * p + c
+        return value
+
+    def _find_irreducible(self) -> tuple[int, ...]:
+        """Monic irreducible polynomial of degree ``n`` over GF(p).
+
+        Candidates are tested by checking that they have no root in
+        GF(p) for degrees 2-3 and, in general, by trial division with
+        all monic polynomials of degree <= n // 2 (fine for the tiny
+        degrees used here).
+        """
+        p, n = self.characteristic, self.degree
+        for tail in range(p**n):
+            coeffs = []
+            e = tail
+            for _ in range(n):
+                coeffs.append(e % p)
+                e //= p
+            candidate = coeffs + [1]  # monic degree-n polynomial
+            if self._is_irreducible(candidate, p):
+                return tuple(candidate)
+        raise AssertionError(f"no irreducible polynomial for GF({p}^{n})")
+
+    @staticmethod
+    def _poly_mod(num: list[int], den: list[int], p: int) -> list[int]:
+        num = list(num)
+        dn = len(den) - 1
+        while len(num) - 1 >= dn and any(num):
+            while num and num[-1] == 0:
+                num.pop()
+            if len(num) - 1 < dn:
+                break
+            shift = len(num) - 1 - dn
+            lead = num[-1] * pow(den[-1], p - 2, p) % p
+            for i, d in enumerate(den):
+                num[shift + i] = (num[shift + i] - lead * d) % p
+        while num and num[-1] == 0:
+            num.pop()
+        return num
+
+    @classmethod
+    def _is_irreducible(cls, poly: list[int], p: int) -> bool:
+        n = len(poly) - 1
+        if n < 1 or poly[-1] == 0:
+            return False
+        # Trial division by every monic polynomial of degree 1..n//2.
+        for deg in range(1, n // 2 + 1):
+            for tail in range(p**deg):
+                div = []
+                e = tail
+                for _ in range(deg):
+                    div.append(e % p)
+                    e //= p
+                div.append(1)
+                if not cls._poly_mod(poly, div, p):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check(self, *elements: int) -> None:
+        for e in elements:
+            if not 0 <= e < self.order:
+                raise ValueError(f"{e} is not an element of GF({self.order})")
+
+    def _add_slow(self, a: int, b: int) -> int:
+        if self.degree == 1:
+            return (a + b) % self.characteristic
+        p = self.characteristic
+        pa, pb = self._int_to_poly(a), self._int_to_poly(b)
+        return self._poly_to_int([(x + y) % p for x, y in zip(pa, pb)])
+
+    def _mul_slow(self, a: int, b: int) -> int:
+        if self.degree == 1:
+            return (a * b) % self.characteristic
+        p = self.characteristic
+        pa, pb = self._int_to_poly(a), self._int_to_poly(b)
+        prod = [0] * (2 * self.degree - 1)
+        for i, x in enumerate(pa):
+            if x == 0:
+                continue
+            for j, y in enumerate(pb):
+                prod[i + j] = (prod[i + j] + x * y) % p
+        rem = self._poly_mod(prod, list(self._modulus_coeffs), p)
+        rem += [0] * (self.degree - len(rem))
+        return self._poly_to_int(rem)
+
+    def add(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if self._add_table is not None:
+            return self._add_table[a][b]
+        return self._add_slow(a, b)
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if self._mul_table is not None:
+            return self._mul_table[a][b]
+        return self._mul_slow(a, b)
+
+    def neg(self, a: int) -> int:
+        self._check(a)
+        for b in range(self.order):
+            if self.add(a, b) == 0:
+                return b
+        raise AssertionError("no additive inverse; field is broken")
+
+    def sub(self, a: int, b: int) -> int:
+        return self.add(a, self.neg(b))
+
+    def inv(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        for b in range(1, self.order):
+            if self.mul(a, b) == 1:
+                return b
+        raise AssertionError("no multiplicative inverse; field is broken")
+
+    def pow(self, a: int, k: int) -> int:
+        self._check(a)
+        if k < 0:
+            return self.pow(self.inv(a), -k)
+        result = 1
+        base = a
+        while k:
+            if k & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            k >>= 1
+        return result
+
+    def elements(self) -> range:
+        return range(self.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF({self.order})"
+
+
+@lru_cache(maxsize=None)
+def field(q: int) -> GaloisField:
+    """Memoized field constructor (table building is not free)."""
+    return GaloisField(q)

@@ -1,0 +1,150 @@
+"""Orthogonal fat-trees (OFT) of Valerio, Moser and Melliar-Smith.
+
+The ``l``-level OFT of prime-power order ``q`` (paper Section 3) is the
+radix-regular fat-tree with radix ``R = 2(q + 1)``, arities
+``k_1 = ... = k_{l-1} = q^2 + q + 1`` and ``k_l = 2(q^2 + q + 1)``.
+Writing ``m = q^2 + q + 1`` it has
+
+* ``N_i = 2 m^(l-1)`` switches at every level ``i < l``,
+* ``N_l = m^(l-1)`` root switches,
+* ``q + 1`` compute nodes per leaf, hence ``T = 2 (q+1) m^(l-1)``.
+
+Construction (recursive, following the fat-tree recursion of
+Definition 3.2):
+
+* A *sub-tree* ``S_j`` has ``m`` copies of ``S_{j-1}`` below a new top
+  level of ``m^(j-1)`` switches.  Copy ``c``'s top switch ``s`` wires up
+  to new-top switch ``(line, s)`` for every projective line through
+  point ``c`` -- the point-line incidence of PG(2, q).
+* The full OFT is ``k_l = 2m`` disjoint copies of ``S_{l-1}`` (two
+  *half-planes* of ``m`` copies each) joined by ``m^(l-1)`` roots; root
+  ``(line, s)`` wires down to top switch ``s`` of copy ``c`` in *both*
+  halves, for every point ``c`` on ``line``.
+
+For ``l = 2`` this is exactly the classic construction of Figure 2: two
+copies of the point set as leaves, the line set as roots, and minimal
+routes between distinct leaves are unique (tested property).
+"""
+
+from __future__ import annotations
+
+from .base import FoldedClos, NetworkError
+from .galois import is_prime_power, nearest_prime_power
+from .projective import projective_plane
+
+__all__ = [
+    "orthogonal_fat_tree",
+    "oft_terminals",
+    "oft_level_sizes",
+    "oft_switches",
+    "oft_wires",
+    "oft_radix",
+    "oft_order_for_radix",
+]
+
+
+def orthogonal_fat_tree(q: int, levels: int) -> FoldedClos:
+    """Build the ``levels``-level OFT of order ``q``.
+
+    ``q`` must be a prime power; ``levels >= 2``.  The result is a
+    radix-regular :class:`FoldedClos` of radix ``2 (q + 1)``.
+    """
+    if levels < 2:
+        raise NetworkError(f"an OFT needs at least 2 levels, got {levels}")
+    if not is_prime_power(q):
+        raise NetworkError(f"OFT order {q} is not a prime power")
+    plane = projective_plane(q)
+    m = plane.size
+    radix = 2 * (q + 1)
+
+    level_sizes = [2 * m ** (levels - 1)] * (levels - 1) + [m ** (levels - 1)]
+    up_adjacency: list[list[list[int]]] = []
+
+    # Stages below the roots: level i (0-based, i < levels - 2).
+    # A switch at 0-based level i is indexed prefix * m^i + s where the
+    # prefix encodes (c_l, c_{l-1}, ..., c_{i+2}) in base m (c_l in
+    # [0, 2m) most significant) and s in [0, m^i) is its position within
+    # its sub-tree's top level.
+    for i in range(levels - 2):
+        span = m**i  # number of top positions per sub-tree at this level
+        n_here = level_sizes[i]
+        stage: list[list[int]] = []
+        for index in range(n_here):
+            prefix, s = divmod(index, span)
+            parent_prefix, copy = divmod(prefix, m)
+            base = parent_prefix * (span * m)
+            stage.append(
+                [
+                    base + line * span + s
+                    for line in plane.lines_through_point(copy)
+                ]
+            )
+        up_adjacency.append(stage)
+
+    # Top stage: level levels-2 (0-based) to roots.  Here the remaining
+    # prefix is c_l in [0, 2m): half h = c_l // m, point p = c_l % m.
+    span = m ** (levels - 2)
+    stage = []
+    for index in range(level_sizes[levels - 2]):
+        c_top, s = divmod(index, span)
+        point = c_top % m
+        stage.append(
+            [line * span + s for line in plane.lines_through_point(point)]
+        )
+    up_adjacency.append(stage)
+
+    topo = FoldedClos(
+        level_sizes,
+        up_adjacency,
+        hosts_per_leaf=q + 1,
+        radix=radix,
+        name=f"OFT(q={q}, l={levels})",
+    )
+    return topo
+
+
+# ----------------------------------------------------------------------
+# Closed-form accounting (Section 4.3 of the paper).
+# ----------------------------------------------------------------------
+
+def oft_terminals(q: int, levels: int) -> int:
+    """Compute nodes: ``2 (q+1) (q^2+q+1)^(l-1)``."""
+    m = q * q + q + 1
+    return 2 * (q + 1) * m ** (levels - 1)
+
+
+def oft_level_sizes(q: int, levels: int) -> list[int]:
+    m = q * q + q + 1
+    return [2 * m ** (levels - 1)] * (levels - 1) + [m ** (levels - 1)]
+
+
+def oft_switches(q: int, levels: int) -> int:
+    return sum(oft_level_sizes(q, levels))
+
+
+def oft_wires(q: int, levels: int) -> int:
+    """Switch-to-switch cables: every non-root has ``q + 1`` up-links."""
+    sizes = oft_level_sizes(q, levels)
+    return sum(n * (q + 1) for n in sizes[:-1])
+
+
+def oft_radix(q: int) -> int:
+    return 2 * (q + 1)
+
+
+def oft_order_for_radix(radix: int) -> int:
+    """Largest prime-power order usable with switches of ``radix`` ports.
+
+    The OFT of order ``q`` needs radix ``2 (q + 1)``, so the ideal order
+    is ``radix / 2 - 1``; this returns the nearest prime power not
+    exceeding it.
+    """
+    ideal = radix // 2 - 1
+    if ideal < 2:
+        raise NetworkError(f"radix {radix} too small for any OFT")
+    q = ideal
+    while q >= 2 and not is_prime_power(q):
+        q -= 1
+    if q < 2:
+        q = nearest_prime_power(ideal)
+    return q

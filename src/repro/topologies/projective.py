@@ -1,0 +1,129 @@
+"""Projective planes PG(2, q) and their incidence graphs.
+
+The orthogonal fat-tree (OFT) wires consecutive switch levels with the
+point-line incidence relation of the projective plane of order ``q``:
+``q^2 + q + 1`` points, equally many lines, every line holding ``q + 1``
+points and every point lying on ``q + 1`` lines, any two distinct
+points sharing exactly one line.  That combinatorial rigidity is what
+gives the 2-level OFT its unique minimal routes (paper Section 3).
+
+Points and lines are homogeneous coordinate triples over GF(q),
+normalized so the first nonzero coordinate is 1; a point ``P`` is on a
+line ``L`` iff ``P . L == 0`` in GF(q).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .galois import GaloisField, field, is_prime_power
+
+__all__ = ["ProjectivePlane", "projective_plane"]
+
+
+class ProjectivePlane:
+    """The Desarguesian projective plane PG(2, q).
+
+    Attributes
+    ----------
+    q:
+        Plane order (a prime power).
+    size:
+        Number of points (= number of lines) ``q^2 + q + 1``.
+    """
+
+    def __init__(self, q: int) -> None:
+        if not is_prime_power(q):
+            raise ValueError(f"projective plane order {q} is not a prime power")
+        self.q = q
+        self.size = q * q + q + 1
+        self._field: GaloisField = field(q)
+        self._points = self._normalized_triples()
+        # By duality lines use the same canonical triples.
+        self._lines = list(self._points)
+        self._points_on_line: list[tuple[int, ...]] = []
+        self._lines_through_point: list[list[int]] = [
+            [] for _ in range(self.size)
+        ]
+        gf = self._field
+        for line_id, line in enumerate(self._lines):
+            members = []
+            for point_id, point in enumerate(self._points):
+                acc = 0
+                for a, b in zip(point, line):
+                    acc = gf.add(acc, gf.mul(a, b))
+                if acc == 0:
+                    members.append(point_id)
+                    self._lines_through_point[point_id].append(line_id)
+            self._points_on_line.append(tuple(members))
+        self._lines_through_point = [
+            tuple(row) for row in self._lines_through_point  # type: ignore[misc]
+        ]
+
+    def _normalized_triples(self) -> list[tuple[int, int, int]]:
+        q = self.q
+        triples: list[tuple[int, int, int]] = [(1, y, z) for y in range(q) for z in range(q)]
+        triples.extend((0, 1, z) for z in range(q))
+        triples.append((0, 0, 1))
+        assert len(triples) == self.size
+        return triples
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return self.size
+
+    @property
+    def num_lines(self) -> int:
+        return self.size
+
+    def point(self, point_id: int) -> tuple[int, int, int]:
+        return self._points[point_id]
+
+    def line(self, line_id: int) -> tuple[int, int, int]:
+        return self._lines[line_id]
+
+    def points_on_line(self, line_id: int) -> tuple[int, ...]:
+        """Ids of the ``q + 1`` points incident to a line."""
+        return self._points_on_line[line_id]
+
+    def lines_through_point(self, point_id: int) -> tuple[int, ...]:
+        """Ids of the ``q + 1`` lines incident to a point."""
+        return self._lines_through_point[point_id]
+
+    def is_incident(self, point_id: int, line_id: int) -> bool:
+        return line_id in self._lines_through_point[point_id]
+
+    def line_through(self, point_a: int, point_b: int) -> int:
+        """The unique line through two distinct points."""
+        if point_a == point_b:
+            raise ValueError("two distinct points are required")
+        common = set(self._lines_through_point[point_a]).intersection(
+            self._lines_through_point[point_b]
+        )
+        if len(common) != 1:
+            raise AssertionError(
+                f"plane axiom violated: points {point_a}, {point_b} share "
+                f"{len(common)} lines"
+            )
+        return next(iter(common))
+
+    def incidence_adjacency(self) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+        """The (q+1)-biregular point-line incidence bipartite graph.
+
+        Returns ``(lines_per_point, points_per_line)`` adjacency rows,
+        directly usable as an inter-level wiring stage.
+        """
+        return (
+            list(self._lines_through_point),
+            list(self._points_on_line),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PG(2, {self.q})"
+
+
+@lru_cache(maxsize=None)
+def projective_plane(q: int) -> ProjectivePlane:
+    """Memoized plane constructor (incidence building is O(size^2))."""
+    return ProjectivePlane(q)

@@ -1,0 +1,239 @@
+"""Random graph generators (paper Appendix, Listings 1 and 2).
+
+These are the Steger--Wormald pairing-model generators the paper uses:
+
+* :func:`random_regular_graph` follows Listing 1 -- generate a random
+  Delta-regular simple graph on ``n`` vertices by repeatedly pairing
+  random unmatched *points* (each vertex owns ``Delta`` points),
+  rejecting pairs that would create self-loops or parallel edges, and
+  restarting the whole construction when it wedges.
+
+* :func:`random_bipartite_graph` follows Listing 2 -- the semiregular
+  bipartite analogue used to wire consecutive levels of a random folded
+  Clos network: ``n1`` left vertices of degree ``d1`` and ``n2`` right
+  vertices of degree ``d2`` (``n1 * d1`` must equal ``n2 * d2``).
+
+Per Theorem 9.1 of the paper each restart iteration runs in expected
+time ``O(N * Delta * ln(Delta))``; with these rejection rules the output
+distribution is asymptotically uniform over simple (bi)regular graphs
+(Steger & Wormald 1999).
+
+Both functions accept a :class:`random.Random` instance so experiments
+are reproducible, and a ``max_restarts`` guard so pathological parameter
+choices fail loudly instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = [
+    "GenerationError",
+    "random_regular_graph",
+    "random_bipartite_graph",
+    "random_biregular_degrees",
+]
+
+
+class GenerationError(RuntimeError):
+    """Raised when a generator exhausts its restart budget."""
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def random_regular_graph(
+    n: int,
+    degree: int,
+    rng: random.Random | int | None = None,
+    max_restarts: int = 1000,
+) -> list[set[int]]:
+    """Generate a random ``degree``-regular simple graph on ``n`` vertices.
+
+    Returns adjacency as a list of sets, exactly like the paper's
+    Listing 1.  Raises :class:`GenerationError` if the parameters are
+    infeasible (``n * degree`` odd, ``degree >= n``) or the restart
+    budget is exhausted.
+    """
+    if n <= 0:
+        raise GenerationError(f"need at least one vertex, got n={n}")
+    if degree < 0:
+        raise GenerationError(f"negative degree {degree}")
+    if degree == 0:
+        return [set() for _ in range(n)]
+    if degree >= n:
+        raise GenerationError(
+            f"degree {degree} impossible on {n} vertices (needs degree < n)"
+        )
+    if (n * degree) % 2 != 0:
+        raise GenerationError(
+            f"n * degree = {n * degree} is odd; no regular graph exists"
+        )
+    rand = _as_rng(rng)
+
+    for _ in range(max_restarts):
+        adj = _try_regular(n, degree, rand)
+        if adj is not None:
+            return adj
+    raise GenerationError(
+        f"no {degree}-regular graph on {n} vertices after "
+        f"{max_restarts} restarts"
+    )
+
+
+def _try_regular(
+    n: int, degree: int, rand: random.Random
+) -> list[set[int]] | None:
+    """One restart iteration of Listing 1.  ``None`` means 'wedged'."""
+    points = list(range(n * degree))
+    adj: list[set[int]] = [set() for _ in range(n)]
+    # Vertices that still have unmatched points.
+    available: set[int] = set(range(n))
+
+    while points:
+        if len(available) <= degree:
+            # Few vertices left: check a suitable pair still exists.
+            if not _has_suitable_pair(available, adj):
+                return None
+        # Rejection-sample a suitable random pair of points.
+        for _ in range(50 * degree + 50):
+            i = rand.randrange(len(points))
+            points[i], points[-1] = points[-1], points[i]
+            j = rand.randrange(len(points) - 1)
+            points[j], points[-2] = points[-2], points[j]
+            u = points[-1] // degree
+            v = points[-2] // degree
+            if u != v and v not in adj[u]:
+                break
+        else:
+            # Statistically wedged; fall back to the exhaustive check.
+            if not _has_suitable_pair(available, adj):
+                return None
+            continue
+        del points[-1]
+        del points[-1]
+        adj[u].add(v)
+        adj[v].add(u)
+        for w in (u, v):
+            if len(adj[w]) == degree:
+                available.remove(w)
+    return adj
+
+
+def _has_suitable_pair(available: set[int], adj: Sequence[set[int]]) -> bool:
+    avail = list(available)
+    for ai, a in enumerate(avail):
+        for b in avail[ai + 1 :]:
+            if b not in adj[a]:
+                return True
+    return False
+
+
+def random_bipartite_graph(
+    n1: int,
+    d1: int,
+    n2: int,
+    d2: int,
+    rng: random.Random | int | None = None,
+    max_restarts: int = 1000,
+) -> tuple[list[set[int]], list[set[int]]]:
+    """Generate a random simple bipartite graph (paper Listing 2).
+
+    ``n1`` left vertices of degree ``d1``; ``n2`` right vertices of
+    degree ``d2``.  Returns ``(adj_left, adj_right)`` where
+    ``adj_left[u]`` holds right-side indices and vice versa.
+    """
+    if n1 <= 0 or n2 <= 0:
+        raise GenerationError(f"need vertices on both sides, got {n1}, {n2}")
+    if d1 < 0 or d2 < 0:
+        raise GenerationError(f"negative degree ({d1}, {d2})")
+    if n1 * d1 != n2 * d2:
+        raise GenerationError(
+            f"degree sums differ: {n1}*{d1} != {n2}*{d2}; "
+            "no biregular bipartite graph exists"
+        )
+    if d1 > n2 or d2 > n1:
+        raise GenerationError(
+            f"degrees ({d1}, {d2}) exceed opposite side sizes ({n2}, {n1})"
+        )
+    if d1 == 0:
+        return [set() for _ in range(n1)], [set() for _ in range(n2)]
+    rand = _as_rng(rng)
+
+    for _ in range(max_restarts):
+        result = _try_bipartite(n1, d1, n2, d2, rand)
+        if result is not None:
+            return result
+    raise GenerationError(
+        f"no ({d1},{d2})-biregular bipartite graph on ({n1},{n2}) vertices "
+        f"after {max_restarts} restarts"
+    )
+
+
+def _try_bipartite(
+    n1: int, d1: int, n2: int, d2: int, rand: random.Random
+) -> tuple[list[set[int]], list[set[int]]] | None:
+    """One restart iteration of Listing 2.  ``None`` means 'wedged'."""
+    pts1 = list(range(n1 * d1))
+    pts2 = list(range(n2 * d2))
+    adj1: list[set[int]] = [set() for _ in range(n1)]
+    adj2: list[set[int]] = [set() for _ in range(n2)]
+    avail1: set[int] = set(range(n1))
+    avail2: set[int] = set(range(n2))
+
+    while pts1:
+        if len(avail1) <= d2 and len(avail2) <= d1:
+            if not _has_suitable_bipartite_pair(avail1, avail2, adj1):
+                return None
+        for _ in range(50 * max(d1, d2) + 50):
+            i = rand.randrange(len(pts1))
+            pts1[i], pts1[-1] = pts1[-1], pts1[i]
+            j = rand.randrange(len(pts2))
+            pts2[j], pts2[-1] = pts2[-1], pts2[j]
+            u = pts1[-1] // d1
+            v = pts2[-1] // d2
+            if v not in adj1[u]:
+                break
+        else:
+            if not _has_suitable_bipartite_pair(avail1, avail2, adj1):
+                return None
+            continue
+        del pts1[-1]
+        del pts2[-1]
+        adj1[u].add(v)
+        adj2[v].add(u)
+        if len(adj1[u]) == d1:
+            avail1.remove(u)
+        if len(adj2[v]) == d2:
+            avail2.remove(v)
+    return adj1, adj2
+
+
+def _has_suitable_bipartite_pair(
+    avail1: set[int], avail2: set[int], adj1: Sequence[set[int]]
+) -> bool:
+    for a in avail1:
+        row = adj1[a]
+        for b in avail2:
+            if b not in row:
+                return True
+    return False
+
+
+def random_biregular_degrees(n1: int, n2: int, total_links: int) -> tuple[int, int]:
+    """Pick per-side degrees realizing ``total_links`` links if possible.
+
+    Utility for expansion experiments: returns ``(d1, d2)`` with
+    ``n1 * d1 == n2 * d2 == total_links``.  Raises
+    :class:`GenerationError` when no integral solution exists.
+    """
+    if total_links % n1 != 0 or total_links % n2 != 0:
+        raise GenerationError(
+            f"{total_links} links cannot be split evenly over "
+            f"({n1}, {n2}) vertices"
+        )
+    return total_links // n1, total_links // n2

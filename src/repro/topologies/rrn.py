@@ -1,0 +1,97 @@
+"""Random regular networks (RRN) -- the Jellyfish baseline.
+
+A RRN puts a random ``delta``-regular graph on the switch layer and
+hangs ``hosts`` compute nodes off every switch, so the switch radix is
+``delta + hosts``.  The paper dimensions RRNs by (Section 4.3):
+
+* ``delta^D ~ 2 N ln N`` relates degree, diameter ``D`` and switch
+  count ``N`` (achievable diameter of a random regular graph);
+* a balanced design puts ``delta / D`` compute nodes per switch, since
+  the average distance sits just below the diameter.
+
+:func:`random_regular_network` builds an instance; the ``rrn_*``
+helpers answer the closed-form sizing questions used by the
+scalability, expandability and resiliency experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .base import DirectNetwork
+from .random_graphs import random_regular_graph
+
+__all__ = [
+    "random_regular_network",
+    "rrn_switches_for_diameter",
+    "rrn_terminals",
+    "rrn_balanced_hosts",
+    "rrn_degree_for",
+]
+
+
+def random_regular_network(
+    num_switches: int,
+    degree: int,
+    hosts_per_switch: int,
+    rng: random.Random | int | None = None,
+) -> DirectNetwork:
+    """Build a RRN: random ``degree``-regular switch graph + terminals."""
+    adjacency = random_regular_graph(num_switches, degree, rng=rng)
+    return DirectNetwork(
+        adjacency,
+        hosts_per_switch=hosts_per_switch,
+        name=f"RRN(N={num_switches}, delta={degree}, hosts={hosts_per_switch})",
+    )
+
+
+def rrn_switches_for_diameter(degree: int, diameter: int) -> int:
+    """Largest N with ``degree^diameter >= 2 N ln N`` (paper's rule).
+
+    This is the number of switches up to which a random
+    ``degree``-regular graph still achieves ``diameter`` with high
+    probability.  Solved by bisection on the monotone ``2 N ln N``.
+    """
+    if degree < 3:
+        return degree + 1
+    target = float(degree) ** diameter
+    lo, hi = 2, 2
+    while 2 * hi * math.log(hi) < target:
+        hi *= 2
+        if hi > 10**15:
+            break
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if 2 * mid * math.log(mid) <= target:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def rrn_balanced_hosts(degree: int, diameter: int) -> int:
+    """Balanced compute nodes per switch: ``delta / D`` (at least 1)."""
+    return max(1, round(degree / diameter))
+
+
+def rrn_terminals(degree: int, diameter: int) -> int:
+    """Compute nodes of the balanced maximal RRN for (degree, diameter)."""
+    n = rrn_switches_for_diameter(degree, diameter)
+    return n * rrn_balanced_hosts(degree, diameter)
+
+
+def rrn_degree_for(radix: int, diameter: int) -> tuple[int, int]:
+    """Split ``radix`` into (network degree, hosts) per Section 4.3.
+
+    The paper uses ``R = delta * (1 + 1/D)``, i.e. ``delta / D`` ports
+    go to compute nodes.  Returns ``(delta, hosts)`` with
+    ``delta + hosts <= radix`` and ``hosts ~ delta / D``.
+    """
+    delta = int(radix / (1.0 + 1.0 / diameter))
+    hosts = radix - delta
+    # Keep hosts close to delta / D without exceeding the radix.
+    while delta > 3 and hosts < max(1, round(delta / diameter)):
+        delta -= 1
+        hosts += 1
+    return delta, hosts

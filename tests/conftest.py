@@ -1,0 +1,70 @@
+"""Shared fixtures: small canonical topologies reused across tests."""
+
+import random
+
+import pytest
+
+from repro.core.rfc import radix_regular_rfc, rfc_with_updown
+from repro.topologies.fattree import commodity_fat_tree, k_ary_l_tree
+from repro.topologies.oft import orthogonal_fat_tree
+from repro.topologies.rrn import random_regular_network
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def cft_4_3():
+    """4-port 3-level commodity fat-tree: 16 terminals, 40 switches."""
+    return commodity_fat_tree(4, 3)
+
+
+@pytest.fixture(scope="session")
+def cft_8_3():
+    """8-port 3-level CFT: 128 terminals."""
+    return commodity_fat_tree(8, 3)
+
+
+@pytest.fixture(scope="session")
+def kary_2_3():
+    return k_ary_l_tree(2, 3)
+
+
+@pytest.fixture(scope="session")
+def oft_q2_l2():
+    """2-level OFT of order 2: 42 terminals, radix 6."""
+    return orthogonal_fat_tree(2, 2)
+
+
+@pytest.fixture(scope="session")
+def oft_q3_l3():
+    """3-level OFT of order 3."""
+    return orthogonal_fat_tree(3, 3)
+
+
+@pytest.fixture(scope="session")
+def rfc_small():
+    """Up/down routable RFC: radix 8, 16 leaves, 3 levels."""
+    topo, _ = rfc_with_updown(8, 16, 3, rng=7)
+    return topo
+
+
+@pytest.fixture(scope="session")
+def rfc_medium():
+    """Up/down routable RFC: radix 8, 32 leaves, 3 levels, 128 nodes."""
+    topo, _ = rfc_with_updown(8, 32, 3, rng=11)
+    return topo
+
+
+@pytest.fixture
+def rfc_unchecked(rng):
+    """An RFC sample that may or may not be up/down routable."""
+    return radix_regular_rfc(6, 20, 3, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def rrn_16():
+    """Random regular network: 16 switches, degree 4, 2 hosts each."""
+    return random_regular_network(16, 4, 2, rng=3)

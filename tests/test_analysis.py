@@ -1,0 +1,94 @@
+"""NetworkReport aggregation and batch-means tests."""
+
+import pytest
+
+from repro.analysis import analyze_network
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+FAST = SimulationParams(measure_cycles=600, warmup_cycles=200, seed=1)
+
+
+class TestAnalyzeFoldedClos:
+    def test_rfc_report(self, rfc_medium):
+        report = analyze_network(rfc_medium, rng=1, fault_trials=3)
+        assert report.kind == "folded-clos"
+        assert report.terminals == rfc_medium.num_terminals
+        assert report.levels == 3
+        assert report.leaf_diameter == 4
+        assert report.updown_routable is True
+        assert report.routable_probability == pytest.approx(1.0, abs=0.01)
+        assert report.mean_ecmp_width > 1
+        assert report.fault_tolerance_percent > 0
+
+    def test_cft_report(self, cft_8_3):
+        report = analyze_network(cft_8_3, rng=2, fault_trials=0)
+        assert report.updown_routable is True
+        assert report.fault_tolerance_percent is None  # trials disabled
+        assert report.leaf_diameter == 4
+
+    def test_render(self, cft_4_3):
+        text = analyze_network(cft_4_3, rng=3, fault_trials=2).render()
+        assert "up/down routable = True" in text
+        assert "terminals" in text
+
+    def test_non_routable_skips_faults(self):
+        from repro.topologies.base import FoldedClos
+
+        split = FoldedClos([4, 2], [[[0], [0], [1], [1]]], 1, 4)
+        report = analyze_network(split, rng=4)
+        assert report.updown_routable is False
+        assert report.fault_tolerance_percent is None
+
+
+class TestAnalyzeDirect:
+    def test_rrn_report(self, rrn_16):
+        report = analyze_network(rrn_16, rng=5)
+        assert report.kind == "direct"
+        assert report.levels is None
+        assert report.updown_routable is None
+        assert report.spectral_gap > 0
+        assert "mean" in report.render()
+
+
+class TestBatchMeans:
+    def test_batches_sum_to_accepted(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        sim = Simulator(cft_8_3, traffic, 0.5, FAST)
+        result = sim.run()
+        batches = sim.batch_accepted_loads()
+        assert len(batches) == 10
+        assert sum(batches) / len(batches) == pytest.approx(
+            result.accepted_load, rel=0.01
+        )
+
+    def test_batches_stable_in_steady_state(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=2)
+        sim = Simulator(cft_8_3, traffic, 0.4, FAST)
+        sim.run()
+        batches = sim.batch_accepted_loads()
+        mean = sum(batches) / len(batches)
+        assert all(abs(b - mean) < 0.25 for b in batches)
+
+    def test_empty_without_deliveries(self, cft_8_3):
+        from repro.simulation.stats import SimStats
+
+        stats = SimStats(warmup=0, horizon=100)
+        assert stats.batch_accepted_loads(8) == []
+
+
+class TestReportCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "topo.json"
+        assert main([
+            "export", "rfc", str(path), "--radix", "8", "--leaves", "16",
+            "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path), "--fault-trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "folded-clos" in out
+        assert "diversity" in out

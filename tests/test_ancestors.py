@@ -1,0 +1,127 @@
+"""Common-ancestor / up-down routability analysis tests."""
+
+import pytest
+
+from repro.core.ancestors import (
+    common_ancestors_of,
+    descendant_leaf_sets,
+    has_updown_routing,
+    has_updown_routing_of,
+    root_ancestor_sets,
+    stages_of,
+    updown_coverage,
+    updown_reachable_fraction,
+)
+from repro.topologies.base import FoldedClos
+
+
+def tiny():
+    """4 leaves, 2 roots; leaves 0,1 -> root 0; leaves 2,3 -> root 1."""
+    return FoldedClos(
+        [4, 2],
+        [[[0], [0], [1], [1]]],
+        hosts_per_leaf=1,
+        radix=4,
+        name="split",
+    )
+
+
+def tiny_joined():
+    """Same but leaf 1 reaches both roots: still not all-pairs."""
+    return FoldedClos(
+        [4, 2],
+        [[[0], [0, 1], [1], [1]]],
+        hosts_per_leaf=1,
+        radix=4,
+    )
+
+
+class TestDescendants:
+    def test_singletons_at_leaves(self):
+        topo = tiny()
+        masks = descendant_leaf_sets(topo.level_sizes, stages_of(topo))
+        assert masks[0] == [1, 2, 4, 8]
+        assert masks[1] == [0b0011, 0b1100]
+
+    def test_cft_roots_cover_everything(self, cft_4_3):
+        masks = descendant_leaf_sets(cft_4_3.level_sizes, stages_of(cft_4_3))
+        full = (1 << cft_4_3.num_leaves) - 1
+        assert all(m == full for m in masks[-1])
+
+
+class TestCoverage:
+    def test_split_network_not_routable(self):
+        topo = tiny()
+        assert not has_updown_routing_of(topo)
+        cover = updown_coverage(topo.level_sizes, stages_of(topo))
+        assert cover[0] == 0b0011
+        assert cover[3] == 0b1100
+
+    def test_fraction_partial(self):
+        topo = tiny()
+        # Each leaf reaches 1 other of 3 -> 1/3.
+        frac = updown_reachable_fraction(topo.level_sizes, stages_of(topo))
+        assert frac == pytest.approx(1 / 3)
+
+    def test_fraction_full(self, cft_4_3):
+        assert updown_reachable_fraction(
+            cft_4_3.level_sizes, stages_of(cft_4_3)
+        ) == 1.0
+
+    def test_joined_still_not_routable(self):
+        topo = tiny_joined()
+        assert not has_updown_routing(topo.level_sizes, stages_of(topo))
+        frac = updown_reachable_fraction(topo.level_sizes, stages_of(topo))
+        assert 1 / 3 < frac < 1.0
+
+    def test_cft_routable(self, cft_4_3, cft_8_3):
+        assert has_updown_routing_of(cft_4_3)
+        assert has_updown_routing_of(cft_8_3)
+
+    def test_rfc_fixture_routable(self, rfc_small, rfc_medium):
+        assert has_updown_routing_of(rfc_small)
+        assert has_updown_routing_of(rfc_medium)
+
+    def test_single_leaf_trivially_routable(self):
+        topo = FoldedClos([2, 1], [[[0], [0]]], 1, 4)
+        assert has_updown_routing_of(topo)
+
+
+class TestRootAncestors:
+    def test_split(self):
+        topo = tiny()
+        masks = root_ancestor_sets(topo.level_sizes, stages_of(topo))
+        assert masks == [0b01, 0b01, 0b10, 0b10]
+
+    def test_cft_every_leaf_reaches_every_root(self, cft_4_3):
+        masks = root_ancestor_sets(cft_4_3.level_sizes, stages_of(cft_4_3))
+        full = (1 << cft_4_3.level_sizes[-1]) - 1
+        assert all(m == full for m in masks)
+
+
+class TestCommonAncestorsOf:
+    def test_same_leaf(self, cft_4_3):
+        assert common_ancestors_of(cft_4_3, 2, 2) == (0, [2])
+
+    def test_siblings_meet_low(self, cft_4_3):
+        # Leaves 0 and 1 share a level-2 switch in the CFT (same pod).
+        level, ancestors = common_ancestors_of(cft_4_3, 0, 1)
+        assert level == 1
+        assert ancestors
+
+    def test_cross_pod_meets_at_root(self, cft_4_3):
+        # CFT(4,3) has 8 leaves; 0 and 7 sit in different pods.
+        level, ancestors = common_ancestors_of(cft_4_3, 0, 7)
+        assert level == cft_4_3.num_levels - 1
+
+    def test_no_ancestor_raises(self):
+        with pytest.raises(ValueError):
+            common_ancestors_of(tiny(), 0, 3)
+
+    def test_matches_routability(self, rfc_small):
+        n1 = rfc_small.num_leaves
+        for a in range(0, n1, 3):
+            for b in range(1, n1, 5):
+                level, ancestors = common_ancestors_of(rfc_small, a, b)
+                assert ancestors
+                assert 0 <= level < rfc_small.num_levels

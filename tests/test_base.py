@@ -1,0 +1,187 @@
+"""Unit tests for the network data model (topologies.base)."""
+
+import pytest
+
+from repro.topologies.base import DirectNetwork, FoldedClos, Link, NetworkError
+
+
+class TestLink:
+    def test_normalizes_order(self):
+        assert Link(5, 2) == Link(2, 5)
+        assert Link(5, 2).lo == 2
+        assert Link(5, 2).hi == 5
+
+    def test_hashable_and_equal(self):
+        assert len({Link(1, 2), Link(2, 1), Link(1, 3)}) == 2
+
+    def test_rejects_self_link(self):
+        with pytest.raises(NetworkError):
+            Link(3, 3)
+
+    def test_other_endpoint(self):
+        link = Link(2, 7)
+        assert link.other(2) == 7
+        assert link.other(7) == 2
+        with pytest.raises(NetworkError):
+            link.other(4)
+
+    def test_iteration(self):
+        assert list(Link(9, 4)) == [4, 9]
+
+    def test_ordering(self):
+        assert Link(1, 2) < Link(1, 3) < Link(2, 3)
+
+
+def tiny_clos() -> FoldedClos:
+    """Radix-4 regular folded Clos: 4 leaves, 2 roots, full bipartite."""
+    return FoldedClos(
+        level_sizes=[4, 2],
+        up_adjacency=[[[0, 1], [0, 1], [0, 1], [0, 1]]],
+        hosts_per_leaf=2,
+        radix=4,
+        name="tiny",
+    )
+
+
+class TestFoldedClos:
+    def test_counts(self):
+        topo = tiny_clos()
+        assert topo.num_levels == 2
+        assert topo.num_switches == 6
+        assert topo.num_leaves == 4
+        assert topo.num_terminals == 8
+        assert topo.num_links == 8
+        assert topo.num_ports == 2 * 8 + 8
+
+    def test_up_down_neighbors(self):
+        topo = tiny_clos()
+        assert topo.up_neighbors(0, 0) == (0, 1)
+        assert topo.up_neighbors(1, 0) == ()  # roots have no up-links
+        assert topo.down_neighbors(1, 1) == (0, 1, 2, 3)
+        assert topo.down_neighbors(0, 0) == ()
+
+    def test_degrees(self):
+        topo = tiny_clos()
+        assert topo.up_degree(0, 0) == 2
+        assert topo.down_degree(0, 0) == 2  # terminals
+        assert topo.down_degree(1, 0) == 4
+
+    def test_flat_ids_roundtrip(self):
+        topo = tiny_clos()
+        seen = set()
+        for level in range(topo.num_levels):
+            for index in range(topo.level_sizes[level]):
+                flat = topo.switch_id(level, index)
+                assert topo.switch_level(flat) == (level, index)
+                seen.add(flat)
+        assert seen == set(range(topo.num_switches))
+
+    def test_flat_id_bounds(self):
+        topo = tiny_clos()
+        with pytest.raises(NetworkError):
+            topo.switch_id(2, 0)
+        with pytest.raises(NetworkError):
+            topo.switch_id(0, 4)
+        with pytest.raises(NetworkError):
+            topo.switch_level(6)
+
+    def test_links_stable_order(self):
+        topo = tiny_clos()
+        assert topo.links() == topo.links()
+        assert len(set(topo.links())) == topo.num_links
+
+    def test_adjacency_symmetric(self):
+        topo = tiny_clos()
+        adj = topo.adjacency()
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_terminal_mapping(self):
+        topo = tiny_clos()
+        assert topo.terminal_switch(0) == 0
+        assert topo.terminal_switch(3) == 1
+        assert topo.terminal_switch(7) == 3
+        assert list(topo.leaf_terminals(1)) == [2, 3]
+        with pytest.raises(NetworkError):
+            topo.terminal_switch(8)
+        with pytest.raises(NetworkError):
+            topo.leaf_terminals(4)
+
+    def test_is_radix_regular(self):
+        assert tiny_clos().is_radix_regular()
+
+    def test_validate_rejects_port_overflow(self):
+        with pytest.raises(NetworkError):
+            FoldedClos(
+                [2, 2],
+                [[[0, 1], [0, 1]]],
+                hosts_per_leaf=5,  # 5 + 2 up-links > radix 4
+                radix=4,
+            ).validate()
+
+    def test_validate_rejects_missing_uplinks(self):
+        topo = FoldedClos(
+            [2, 2],
+            [[[], [0, 1]]],
+            hosts_per_leaf=1,
+            radix=4,
+        )
+        with pytest.raises(NetworkError):
+            topo.validate()
+
+    def test_rejects_parallel_links(self):
+        with pytest.raises(NetworkError):
+            FoldedClos([2, 2], [[[0, 0], [1, 1]]], 1, 4)
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(NetworkError):
+            FoldedClos([2, 2], [[[0, 2], [0, 1]]], 1, 4)
+
+    def test_rejects_mismatched_stage_count(self):
+        with pytest.raises(NetworkError):
+            FoldedClos([2, 2, 2], [[[0], [1]]], 1, 4)
+
+    def test_to_networkx(self):
+        graph = tiny_clos().to_networkx()
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 8
+        assert graph.nodes[0]["level"] == 0
+        assert graph.nodes[5]["level"] == 1
+
+
+class TestDirectNetwork:
+    def test_counts(self, rrn_16):
+        assert rrn_16.num_switches == 16
+        assert rrn_16.num_terminals == 32
+        assert rrn_16.num_links == 32
+        assert rrn_16.num_ports == 2 * 32 + 32
+        assert rrn_16.radix == 6
+
+    def test_regularity(self, rrn_16):
+        assert rrn_16.is_regular()
+        assert all(rrn_16.degree(s) == 4 for s in range(16))
+
+    def test_terminal_mapping(self, rrn_16):
+        assert rrn_16.terminal_switch(0) == 0
+        assert rrn_16.terminal_switch(31) == 15
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(NetworkError):
+            DirectNetwork([[1], []], hosts_per_switch=1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NetworkError):
+            DirectNetwork([[0, 1], [0]], hosts_per_switch=1)
+
+    def test_links_match_adjacency(self, rrn_16):
+        links = rrn_16.links()
+        assert len(links) == rrn_16.num_links
+        adj = rrn_16.adjacency()
+        for link in links:
+            assert link.hi in adj[link.lo]
+
+    def test_to_networkx(self, rrn_16):
+        graph = rrn_16.to_networkx()
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 32

@@ -1,0 +1,41 @@
+"""Benchmark-suite consistency: every experiment id has a bench file."""
+
+from pathlib import Path
+
+import repro.experiments as exps
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+# Experiment id -> benchmark module that regenerates it.
+EXPECTED = {
+    "thm42": "bench_thm42_threshold.py",
+    "fig5": "bench_fig5_diameter.py",
+    "fig6": "bench_fig6_scalability.py",
+    "fig7": "bench_fig7_expandability.py",
+    "tab3": "bench_table3_disconnect.py",
+    "fig8": "bench_fig8_scenario1.py",
+    "fig9": "bench_fig9_scenario2.py",
+    "fig10": "bench_fig10_scenario3.py",
+    "fig11": "bench_fig11_updown_faults.py",
+    "fig12": "bench_fig12_faulty_throughput.py",
+    "sec42": "bench_sec42_bisection.py",
+    "sec5": "bench_sec5_scenarios.py",
+    "thm91": "bench_generation.py",
+}
+
+
+class TestBenchmarkCoverage:
+    def test_every_experiment_has_a_bench(self):
+        assert set(EXPECTED) == set(exps.EXPERIMENTS)
+        for exp_id, bench in EXPECTED.items():
+            assert (BENCH_DIR / bench).exists(), f"{exp_id} -> {bench}"
+
+    def test_ablation_benches_exist(self):
+        for name in ("bench_ablation_routing.py", "bench_ablation_valiant.py"):
+            assert (BENCH_DIR / name).exists()
+
+    def test_bench_files_reference_their_experiment(self):
+        # Sanity: each bench imports from repro (not stale copies).
+        for bench in BENCH_DIR.glob("bench_*.py"):
+            text = bench.read_text()
+            assert "from repro" in text, bench.name

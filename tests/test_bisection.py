@@ -1,0 +1,95 @@
+"""Bisection bounds and estimator tests."""
+
+import math
+
+import pytest
+
+from repro.graphs.bisection import (
+    bollobas_isoperimetric,
+    cut_width,
+    estimate_bisection_width,
+    rfc_bisection_lower_bound,
+    rfc_normalized_bisection,
+    rrn_bisection_lower_bound,
+    rrn_normalized_bisection,
+)
+
+
+class TestAnalyticBounds:
+    def test_bollobas_formula(self):
+        assert bollobas_isoperimetric(26) == pytest.approx(
+            13 - math.sqrt(26 * math.log(2))
+        )
+
+    def test_paper_normalized_values(self):
+        """Section 4.2: RRN ~0.88, 2-level RFC ~0.80, 3-level ~0.86."""
+        # RRN with R=36 split: delta=26, 10 hosts.
+        assert rrn_normalized_bisection(26, 10) == pytest.approx(0.88, abs=0.01)
+        assert rfc_normalized_bisection(36, 2) == pytest.approx(0.80, abs=0.01)
+        assert rfc_normalized_bisection(36, 3) == pytest.approx(0.86, abs=0.01)
+
+    def test_normalized_increases_with_levels(self):
+        values = [rfc_normalized_bisection(36, l) for l in (2, 3, 4, 5)]
+        assert values == sorted(values)
+        assert all(v < 1.0 for v in values)
+
+    def test_rfc_lower_bound_positive_at_paper_scale(self):
+        assert rfc_bisection_lower_bound(11_254, 36, 3) > 0
+
+    def test_rrn_lower_bound_scales_linearly(self):
+        one = rrn_bisection_lower_bound(1_000, 16)
+        two = rrn_bisection_lower_bound(2_000, 16)
+        assert two == pytest.approx(2 * one)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bollobas_isoperimetric(-1)
+        with pytest.raises(ValueError):
+            rfc_bisection_lower_bound(8, 4, 1)
+        with pytest.raises(ValueError):
+            rrn_normalized_bisection(8, 0)
+
+
+class TestCutWidth:
+    def test_known_cut(self):
+        # Path 0-1-2-3 cut between 1 and 2.
+        adj = [[1], [0, 2], [1, 3], [2]]
+        assert cut_width(adj, [True, True, False, False]) == 1
+        assert cut_width(adj, [True, False, True, False]) == 3
+
+
+class TestEstimator:
+    def test_two_cliques_one_bridge(self):
+        # Two K4s joined by a single edge: bisection width is 1.
+        adj = [[] for _ in range(8)]
+        for group in (range(4), range(4, 8)):
+            for a in group:
+                for b in group:
+                    if a != b:
+                        adj[a].append(b)
+        adj[0].append(4)
+        adj[4].append(0)
+        assert estimate_bisection_width(adj, restarts=12, rng=1) == 1
+
+    def test_complete_bipartite(self):
+        # K_{3,3}: any balanced cut crosses at least 4 edges... the
+        # minimum balanced cut of K33 puts {a1,a2,b1} vs {a3,b2,b3}:
+        # crossing = a1b2,a1b3,a2b2,a2b3,a3b1 = 5.
+        adj = [[3, 4, 5]] * 3 + [[0, 1, 2]] * 3
+        est = estimate_bisection_width(adj, restarts=10, rng=2)
+        assert est == 5
+
+    def test_trivial_graphs(self):
+        assert estimate_bisection_width([[]], rng=0) == 0
+        assert estimate_bisection_width([], rng=0) == 0
+
+    def test_estimate_tracks_cheeger_for_rfc(self, rfc_medium):
+        # The local-search upper bound should land in the right
+        # ballpark of the analytic (asymptotic) lower bound; at this
+        # tiny size the Bollobas constant overshoots, so only a loose
+        # band is meaningful.
+        est = estimate_bisection_width(rfc_medium.adjacency(), rng=3)
+        bound = rfc_bisection_lower_bound(
+            rfc_medium.num_leaves, rfc_medium.radix, rfc_medium.num_levels
+        )
+        assert bound * 0.5 <= est <= rfc_medium.num_links

@@ -1,0 +1,71 @@
+"""CLI smoke tests (argument parsing + handler wiring)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "rfc"])
+        assert args.command == "generate"
+        assert args.radix == 12
+        assert args.levels == 3
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig5", "--full"])
+        assert args.name == "fig5"
+        assert args.full
+
+
+class TestCommands:
+    def test_generate_rfc(self, capsys):
+        assert main(["generate", "rfc", "--radix", "8", "--leaves", "16",
+                     "--check-updown", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RFC(R=8" in out
+        assert "up/down routable" in out
+
+    def test_generate_cft(self, capsys):
+        assert main(["generate", "cft", "--radix", "4", "--levels", "3"]) == 0
+        assert "T=16" in capsys.readouterr().out
+
+    def test_generate_oft(self, capsys):
+        assert main(["generate", "oft", "--radix", "6", "--levels", "2"]) == 0
+        assert "OFT" in capsys.readouterr().out
+
+    def test_generate_rrn(self, capsys):
+        assert main(["generate", "rrn", "--switches", "16",
+                     "--radix", "6"]) == 0
+        assert "RRN" in capsys.readouterr().out
+
+    def test_generate_kary(self, capsys):
+        assert main(["generate", "kary", "--radix", "4",
+                     "--levels", "2"]) == 0
+        assert "2-ary" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--radix", "8", "--leaves", "16",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold radix" in out
+        assert "leaf diameter" in out
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "cft", "--radix", "4", "--levels", "2",
+            "--load", "0.3", "--cycles", "300", "--warmup", "100",
+        ]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "sec5"]) == 0
+        assert "Section 5" in capsys.readouterr().out
+
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "equal-resources-11k" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""CLI export / CSV command tests."""
+
+import json
+
+from repro.cli import main
+from repro.topologies.io import load
+
+
+class TestExport:
+    def test_json_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "rfc.json"
+        assert main([
+            "export", "rfc", str(out),
+            "--radix", "8", "--leaves", "16", "--seed", "1",
+        ]) == 0
+        topo = load(out)
+        assert topo.num_leaves == 16
+        assert topo.radix == 8
+
+    def test_dot(self, tmp_path, capsys):
+        out = tmp_path / "cft.dot"
+        assert main([
+            "export", "cft", str(out), "--radix", "4", "--levels", "2",
+        ]) == 0
+        assert out.read_text().startswith("graph")
+
+    def test_edges(self, tmp_path, capsys):
+        out = tmp_path / "net.edges"
+        assert main([
+            "export", "rrn", str(out), "--radix", "6", "--switches", "16",
+        ]) == 0
+        lines = out.read_text().splitlines()
+        assert all(len(line.split()) == 2 for line in lines)
+
+    def test_oft_export(self, tmp_path, capsys):
+        out = tmp_path / "oft.json"
+        assert main([
+            "export", "oft", str(out), "--radix", "6", "--levels", "2",
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "folded-clos"
+
+    def test_unknown_extension_fails(self, tmp_path, capsys):
+        out = tmp_path / "net.xml"
+        assert main([
+            "export", "cft", str(out), "--radix", "4", "--levels", "2",
+        ]) == 2
+
+
+class TestDiversity:
+    def test_cft(self, capsys):
+        assert main([
+            "diversity", "cft", "--radix", "4", "--levels", "3",
+        ]) == 0
+        assert "width mean" in capsys.readouterr().out
+
+    def test_rfc(self, capsys):
+        assert main([
+            "diversity", "rfc", "--radix", "8", "--leaves", "16",
+            "--pairs", "50", "--seed", "2",
+        ]) == 0
+        assert "single-route" in capsys.readouterr().out
+
+    def test_oft(self, capsys):
+        assert main([
+            "diversity", "oft", "--radix", "6", "--levels", "2",
+            "--pairs", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OFT" in out
+
+
+class TestSimulateRfc:
+    def test_simulate_rfc_branch(self, capsys):
+        assert main([
+            "simulate", "rfc", "--radix", "8", "--leaves", "16",
+            "--load", "0.3", "--cycles", "300", "--warmup", "100",
+        ]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+
+class TestExperimentCsv:
+    def test_writes_csv(self, tmp_path, capsys):
+        assert main([
+            "experiment", "sec5", "--csv", str(tmp_path / "csv"),
+        ]) == 0
+        content = (tmp_path / "csv" / "sec5.csv").read_text()
+        assert content.startswith("scenario,topology")
+        assert "# " in content  # notes trailer

@@ -1,0 +1,73 @@
+"""Connectivity-under-removal tests."""
+
+from repro.graphs.connectivity import (
+    adjacency_without_links,
+    connected_components,
+    connects_all,
+    is_connected,
+)
+
+
+def two_triangles():
+    """Vertices 0-2 and 3-5, disconnected triangles."""
+    return [[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]]
+
+
+class TestComponents:
+    def test_two_components(self):
+        comps = connected_components(two_triangles())
+        assert comps == [[0, 1, 2], [3, 4, 5]]
+
+    def test_single_component(self, cft_4_3):
+        assert connected_components(cft_4_3.adjacency())[0] == list(
+            range(cft_4_3.num_switches)
+        )
+
+    def test_isolated_vertices(self):
+        assert connected_components([[], [], []]) == [[0], [1], [2]]
+
+
+class TestIsConnected:
+    def test_connected(self, cft_4_3, rrn_16):
+        assert is_connected(cft_4_3.adjacency())
+        assert is_connected(rrn_16.adjacency())
+
+    def test_disconnected(self):
+        assert not is_connected(two_triangles())
+
+    def test_empty(self):
+        assert is_connected([])
+
+
+class TestConnectsAll:
+    def test_subset_within_component(self):
+        assert connects_all(two_triangles(), [0, 1, 2])
+        assert connects_all(two_triangles(), [3, 5])
+        assert not connects_all(two_triangles(), [0, 3])
+
+    def test_trivial_subsets(self):
+        assert connects_all(two_triangles(), [])
+        assert connects_all(two_triangles(), [4])
+
+    def test_leaves_care_only_about_leaves(self, cft_4_3):
+        # Strip every link of one root switch: the graph is
+        # disconnected (root stranded) but leaves stay connected.
+        adj = cft_4_3.adjacency()
+        root = cft_4_3.switch_id(2, 0)
+        removed = [(root, v) for v in adj[root]]
+        pruned = adjacency_without_links(adj, removed)
+        assert not is_connected(pruned)
+        leaves = [cft_4_3.switch_id(0, i) for i in range(cft_4_3.num_leaves)]
+        assert connects_all(pruned, leaves)
+
+
+class TestAdjacencyWithout:
+    def test_removes_both_directions(self):
+        adj = [[1, 2], [0], [0]]
+        pruned = adjacency_without_links(adj, [(0, 1)])
+        assert pruned == [[2], [], [0]]
+
+    def test_original_untouched(self):
+        adj = [[1], [0]]
+        adjacency_without_links(adj, [(0, 1)])
+        assert adj == [[1], [0]]

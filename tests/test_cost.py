@@ -1,0 +1,141 @@
+"""Cost model and Section 5 scenario tests."""
+
+import pytest
+
+from repro.cost.model import (
+    CostPoint,
+    cft_cost,
+    expandability_curve,
+    oft_cost,
+    rfc_cost,
+    rrn_cost,
+)
+from repro.cost.scenarios import SCENARIOS, scenario, scenario_names
+
+
+class TestCostPoint:
+    def test_ports_formula(self):
+        point = CostPoint("X", 8, 2, terminals=10, switches=5, wires=20)
+        assert point.ports == 50
+        assert point.ports_per_terminal == 5.0
+
+    def test_savings(self):
+        a = CostPoint("A", 8, 2, 100, 50, 200)
+        b = CostPoint("B", 8, 2, 100, 100, 400)
+        savings = a.savings_vs(b)
+        assert savings["switches"] == 0.5
+        assert savings["wires"] == 0.5
+
+
+class TestClosedForms:
+    def test_cft_matches_instance(self, cft_8_3):
+        point = cft_cost(8, 3)
+        assert point.terminals == cft_8_3.num_terminals
+        assert point.switches == cft_8_3.num_switches
+        assert point.wires == cft_8_3.num_links
+
+    def test_rfc_matches_instance(self, rfc_medium):
+        point = rfc_cost(8, 32, 3)
+        assert point.terminals == rfc_medium.num_terminals
+        assert point.switches == rfc_medium.num_switches
+        assert point.wires == rfc_medium.num_links
+
+    def test_oft_matches_instance(self, oft_q3_l3):
+        point = oft_cost(3, 3)
+        assert point.terminals == oft_q3_l3.num_terminals
+        assert point.switches == oft_q3_l3.num_switches
+        assert point.wires == oft_q3_l3.num_links
+
+    def test_rrn(self):
+        point = rrn_cost(100, 8, 4)
+        assert point.terminals == 400
+        assert point.wires == 400
+        assert point.radix == 12
+
+    def test_rfc_rejects_odd_leaves(self):
+        with pytest.raises(ValueError):
+            rfc_cost(8, 15, 3)
+
+
+class TestScenarioNumbers:
+    def test_equal_resources(self):
+        scn = scenario("equal-resources-11k")
+        assert scn.cft.terminals == 11_664
+        assert scn.rfc.terminals == 11_664
+        assert scn.cft.switches == scn.rfc.switches == 1_620
+        assert scn.rfc_alt is not None
+        assert scn.rfc_alt.radix == 20
+        assert scn.rfc_alt.terminals == 11_660
+        # Paper: radix-20 RFC has similar wire cost to the radix-36 CFT.
+        assert abs(scn.rfc_alt.wires - scn.cft.wires) <= 10
+
+    def test_intermediate(self):
+        scn = scenario("intermediate-100k")
+        assert scn.rfc.terminals == 100_008
+        assert scn.rfc.switches == 13_890
+        assert scn.rfc.wires == 200_016
+        assert scn.cft.switches == 40_824
+        assert scn.cft.wires == 629_856
+
+    def test_maximum_paper_savings(self):
+        """Paper: 31% switch and 36% wire savings at 200K."""
+        scn = scenario("maximum-200k")
+        assert scn.rfc.terminals == 202_572
+        assert scn.rfc.switches == 28_135
+        assert scn.rfc.wires == 405_144
+        savings = scn.savings()
+        assert savings["switches"] == pytest.approx(0.31, abs=0.01)
+        assert savings["wires"] == pytest.approx(0.36, abs=0.01)
+
+    def test_scaled_configs_consistent(self):
+        for scn in SCENARIOS.values():
+            scaled = scn.scaled
+            assert scaled.rfc_terminals > 0
+            assert scaled.cft_terminals > 0
+            assert scaled.rfc_n1 % 2 == 0
+
+    def test_prefix_lookup(self):
+        assert scenario("maximum").name == "maximum-200k"
+        with pytest.raises(KeyError):
+            scenario("nope")
+
+    def test_names(self):
+        assert len(scenario_names()) == 3
+
+
+class TestExpandabilityCurve:
+    def test_rfc_nearly_linear(self):
+        # Within one level regime (3 levels spans 2K-200K at radix 36)
+        # doubling terminals roughly doubles ports.
+        counts = [4_000, 8_000, 16_000, 32_000]
+        points = expandability_curve("rfc", 36, counts)
+        assert all(p.levels == 3 for p in points)
+        ratios = [
+            points[i + 1].ports / points[i].ports for i in range(3)
+        ]
+        assert all(1.8 < r < 2.2 for r in ratios)
+
+    def test_cft_steps(self):
+        before, after = expandability_curve("cft", 36, [11_664, 11_665])
+        assert after.ports > before.ports * 10  # a level jump
+
+    def test_rfc_cheaper_than_cft_between_steps(self):
+        """Paper: RFC connects 100K nodes at a fraction of CFT cost."""
+        [cft] = expandability_curve("cft", 36, [100_008])
+        [rfc] = expandability_curve("rfc", 36, [100_008])
+        assert rfc.ports < 0.4 * cft.ports
+
+    def test_rrn_linear(self):
+        points = expandability_curve("rrn", 36, [1_000, 2_000])
+        assert points[1].ports == pytest.approx(2 * points[0].ports, rel=0.05)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            expandability_curve("mesh", 36, [100])
+
+    def test_monotone_nondecreasing(self):
+        for kind in ("cft", "rfc", "oft", "rrn"):
+            counts = [500, 5_000, 50_000]
+            points = expandability_curve(kind, 36, counts)
+            ports = [p.ports for p in points]
+            assert ports == sorted(ports)

@@ -1,0 +1,77 @@
+"""Path-diversity census and engine utilization tests."""
+
+import pytest
+
+from repro.routing.diversity import (
+    ecmp_width_histogram,
+    path_diversity_census,
+)
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+FAST = SimulationParams(measure_cycles=600, warmup_cycles=200, seed=1)
+
+
+class TestDiversityCensus:
+    def test_oft_unique_routes(self, oft_q2_l2):
+        """Paper Section 3: 2-level OFT minimal routes are unique
+        (except same-point cross-half pairs)."""
+        census = path_diversity_census(oft_q2_l2, sample_pairs=500, rng=1)
+        assert census.min_width == 1
+        assert census.unique_route_fraction > 0.8
+
+    def test_cft_width_formula(self, cft_4_3):
+        """CFT cross-pod pairs have Delta^(l-1) = 4 routes; same-pod 2."""
+        histogram = ecmp_width_histogram(cft_4_3, sample_pairs=10_000, rng=2)
+        assert set(histogram) == {2, 4}
+
+    def test_rfc_has_spread(self, rfc_medium):
+        histogram = ecmp_width_histogram(rfc_medium, sample_pairs=150, rng=3)
+        assert len(histogram) > 1  # random wiring -> width distribution
+
+    def test_rfc_beats_oft_diversity(self, rfc_medium, oft_q2_l2):
+        rfc = path_diversity_census(rfc_medium, sample_pairs=150, rng=4)
+        oft = path_diversity_census(oft_q2_l2, sample_pairs=150, rng=4)
+        assert rfc.mean_width > oft.mean_width
+
+    def test_describe_renders(self, cft_4_3):
+        text = path_diversity_census(cft_4_3, rng=5).describe()
+        assert "pairs" in text
+
+    def test_small_topology_enumerates_all_pairs(self, cft_4_3):
+        histogram = ecmp_width_histogram(cft_4_3, sample_pairs=10_000)
+        n1 = cft_4_3.num_leaves
+        assert sum(histogram.values()) == n1 * (n1 - 1) // 2
+
+
+class TestUtilization:
+    def test_bounded_by_capacity(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        sim = Simulator(cft_8_3, traffic, 0.8, FAST)
+        sim.run()
+        util = sim.link_utilization()
+        assert 0.0 < util["mean"] <= 1.0 + 1e-9
+        assert util["max"] <= 1.0 + 1e-9
+        assert util["p95"] <= util["max"]
+
+    def test_scales_with_load(self, cft_8_3):
+        means = []
+        for load in (0.2, 0.6):
+            traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=2)
+            sim = Simulator(cft_8_3, traffic, load, FAST)
+            sim.run()
+            means.append(sim.link_utilization()["mean"])
+        assert means[1] > 1.5 * means[0]
+
+    def test_hotspot_saturates_ejection(self, cft_8_3):
+        traffic = make_traffic("fixed-random", cft_8_3.num_terminals, rng=3)
+        sim = Simulator(cft_8_3, traffic, 1.0, FAST)
+        sim.run()
+        assert max(sim.ejection_utilization()) > 0.8
+
+    def test_inject_queue_grows_at_saturation(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=4)
+        sim = Simulator(cft_8_3, traffic, 1.0, FAST)
+        sim.run()
+        assert sim.max_inject_queue >= 2

@@ -1,0 +1,140 @@
+"""Cycle-level simulator behaviour tests (small, fast configurations)."""
+
+import pytest
+
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator, load_sweep, simulate
+from repro.simulation.traffic import UniformTraffic, make_traffic
+
+FAST = SimulationParams(measure_cycles=600, warmup_cycles=200, seed=3)
+
+
+class TestBasicDelivery:
+    def test_low_load_accepted_matches_offered(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        result = simulate(cft_8_3, traffic, 0.2, FAST)
+        assert result.accepted_load == pytest.approx(0.2, abs=0.05)
+
+    def test_low_load_latency_near_contention_free(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        result = simulate(cft_8_3, traffic, 0.05, FAST)
+        # ~4 switch hops + ejection, 16-phit serialization: the
+        # contention-free baseline sits around 20 cycles; allow queue
+        # noise but catch gross timing bugs.
+        assert 16 <= result.avg_latency <= 45
+        assert 2 <= result.avg_hops <= 4
+
+    def test_saturation_below_full(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        result = simulate(cft_8_3, traffic, 1.0, FAST)
+        assert 0.5 <= result.accepted_load <= 1.0
+
+    def test_accepted_monotone_at_low_loads(self, cft_8_3):
+        results = load_sweep(cft_8_3, "uniform", [0.1, 0.3, 0.5], FAST)
+        accepted = [r.accepted_load for r in results]
+        assert accepted[0] < accepted[1] < accepted[2]
+
+    def test_conservation(self, rfc_medium):
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=2)
+        sim = Simulator(rfc_medium, traffic, 0.5, FAST)
+        result = sim.run()
+        assert result.delivered_packets <= result.generated_packets
+        assert sim.unroutable_packets == 0
+
+    def test_same_leaf_pairs_deliver(self, cft_8_3):
+        class SameLeaf(UniformTraffic):
+            name = "same-leaf"
+
+            def destination(self, source, rng):
+                # Partner within the same leaf (hosts_per_leaf = 4).
+                return source ^ 1
+
+        traffic = SameLeaf(cft_8_3.num_terminals)
+        result = simulate(cft_8_3, traffic, 0.3, FAST)
+        assert result.measured_packets > 0
+        assert result.avg_hops == 0  # never leaves the leaf switch
+
+    def test_deterministic_by_seed(self, rfc_small):
+        runs = []
+        for _ in range(2):
+            traffic = make_traffic("uniform", rfc_small.num_terminals, rng=4)
+            runs.append(simulate(rfc_small, traffic, 0.4, FAST))
+        assert runs[0].accepted_load == runs[1].accepted_load
+        assert runs[0].avg_latency == runs[1].avg_latency
+
+    def test_seed_changes_outcome(self, rfc_small):
+        results = []
+        for seed in (1, 2):
+            traffic = make_traffic("uniform", rfc_small.num_terminals, rng=4)
+            results.append(
+                simulate(rfc_small, traffic, 0.4, FAST.scaled(seed=seed))
+            )
+        assert (
+            results[0].measured_latency_sum
+            if hasattr(results[0], "measured_latency_sum")
+            else results[0].avg_latency
+        ) != results[1].avg_latency
+
+
+class TestValidation:
+    def test_rejects_terminal_mismatch(self, cft_8_3):
+        with pytest.raises(ValueError):
+            Simulator(cft_8_3, UniformTraffic(10), 0.5, FAST)
+
+    def test_rejects_bad_load(self, cft_8_3):
+        traffic = UniformTraffic(cft_8_3.num_terminals)
+        with pytest.raises(ValueError):
+            Simulator(cft_8_3, traffic, 0.0, FAST)
+        with pytest.raises(ValueError):
+            Simulator(cft_8_3, traffic, 1.5, FAST)
+
+
+class TestTrafficComparisons:
+    def test_pairing_saturation_not_above_uniform(self, cft_8_3):
+        """Permutation traffic cannot beat uniform at saturation."""
+        uni = make_traffic("uniform", cft_8_3.num_terminals, rng=5)
+        pair = make_traffic("random-pairing", cft_8_3.num_terminals, rng=5)
+        r_uni = simulate(cft_8_3, uni, 1.0, FAST)
+        r_pair = simulate(cft_8_3, pair, 1.0, FAST)
+        assert r_pair.accepted_load <= r_uni.accepted_load + 0.05
+
+    def test_fixed_random_worst(self, cft_8_3):
+        """Hot spots cap fixed-random well below uniform."""
+        uni = make_traffic("uniform", cft_8_3.num_terminals, rng=6)
+        hot = make_traffic("fixed-random", cft_8_3.num_terminals, rng=6)
+        r_uni = simulate(cft_8_3, uni, 1.0, FAST)
+        r_hot = simulate(cft_8_3, hot, 1.0, FAST)
+        assert r_hot.accepted_load < r_uni.accepted_load
+
+
+class TestFaultyRuns:
+    def test_removed_links_still_deliver(self, rfc_medium):
+        links = rfc_medium.links()[:8]
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=7)
+        sim = Simulator(rfc_medium, traffic, 0.3, FAST, removed_links=links)
+        result = sim.run()
+        assert result.measured_packets > 0
+
+    def test_isolating_a_leaf_drops_packets(self, rfc_medium):
+        # Remove every up-link of leaf 0.
+        leaf = rfc_medium.switch_id(0, 0)
+        doomed = [
+            link for link in rfc_medium.links() if leaf in (link.lo, link.hi)
+        ]
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=8)
+        sim = Simulator(
+            rfc_medium, traffic, 0.5, FAST, removed_links=doomed
+        )
+        sim.run()
+        assert sim.unroutable_packets > 0
+
+    def test_faults_reduce_saturation(self, rfc_medium):
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=9)
+        healthy = simulate(rfc_medium, traffic, 1.0, FAST)
+        links = rfc_medium.links()
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=9)
+        broken = Simulator(
+            rfc_medium, traffic, 1.0, FAST,
+            removed_links=links[: len(links) // 4],
+        ).run()
+        assert broken.accepted_load < healthy.accepted_load

@@ -1,0 +1,80 @@
+"""Engine option-interaction coverage (valiant x direct, iterations,
+arbiter x adaptive)."""
+
+import pytest
+
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.traffic import make_traffic
+
+FAST = SimulationParams(measure_cycles=400, warmup_cycles=120, seed=5)
+
+
+class TestValiantOnDirect:
+    def test_valiant_flag_ignored_on_direct(self, rrn_16):
+        """Valiant is a folded Clos mechanism; direct runs ignore it."""
+        traffic = make_traffic("uniform", rrn_16.num_terminals, rng=1)
+        result = simulate(rrn_16, traffic, 0.3, FAST.scaled(valiant=True))
+        assert result.accepted_load == pytest.approx(0.3, abs=0.08)
+
+
+class TestIterationInteractions:
+    def test_iterations_with_adaptive(self, cft_8_3):
+        params = FAST.scaled(arbitration_iterations=2,
+                             up_selection="adaptive")
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=2)
+        result = simulate(cft_8_3, traffic, 0.8, params)
+        assert 0.5 <= result.accepted_load <= 0.95
+
+    def test_iterations_with_rotating_arbiter(self, cft_8_3):
+        params = FAST.scaled(arbitration_iterations=3, arbiter="rotating")
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=3)
+        result = simulate(cft_8_3, traffic, 0.5, params)
+        assert result.accepted_load == pytest.approx(0.5, abs=0.08)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            SimulationParams(arbitration_iterations=0)
+
+
+class TestValiantWithOptions:
+    def test_valiant_plus_adaptive(self, rfc_medium):
+        params = FAST.scaled(valiant=True, up_selection="adaptive")
+        traffic = make_traffic(
+            "random-pairing", rfc_medium.num_terminals, rng=4
+        )
+        sim = Simulator(rfc_medium, traffic, 0.2, params)
+        result = sim.run()
+        assert sim.unroutable_packets == 0
+        assert result.accepted_load == pytest.approx(0.2, abs=0.06)
+
+    def test_valiant_with_two_vcs_only(self, rfc_medium):
+        params = FAST.scaled(valiant=True, virtual_channels=2)
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=5)
+        result = simulate(rfc_medium, traffic, 0.2, params)
+        assert result.measured_packets > 0
+
+
+class TestUtilizationAcrossModes:
+    @pytest.mark.parametrize("valiant", [False, True])
+    def test_capacity_respected(self, rfc_medium, valiant):
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=6)
+        sim = Simulator(
+            rfc_medium, traffic, 0.9, FAST.scaled(valiant=valiant)
+        )
+        sim.run()
+        assert sim.link_utilization()["max"] <= 1.0 + 1e-9
+
+    def test_valiant_raises_link_load(self, rfc_medium):
+        means = {}
+        for valiant in (False, True):
+            traffic = make_traffic(
+                "uniform", rfc_medium.num_terminals, rng=7
+            )
+            sim = Simulator(
+                rfc_medium, traffic, 0.3, FAST.scaled(valiant=valiant)
+            )
+            sim.run()
+            means[valiant] = sim.link_utilization()["mean"]
+        # Doubling path lengths roughly doubles link occupancy.
+        assert means[True] > 1.4 * means[False]

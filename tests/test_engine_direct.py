@@ -1,0 +1,109 @@
+"""Direct-network (RRN/Jellyfish) simulation and Valiant routing tests."""
+
+import pytest
+
+from repro.core.rfc import rfc_with_updown
+from repro.routing.table import EcmpTableRouter
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.traffic import make_traffic
+from repro.topologies.rrn import random_regular_network
+
+FAST = SimulationParams(measure_cycles=600, warmup_cycles=200, seed=2)
+
+
+class TestEcmpTableRouter:
+    def test_next_hops_minimal(self, rrn_16):
+        router = EcmpTableRouter.for_network(rrn_16)
+        adj = rrn_16.adjacency()
+        for dest in range(0, 16, 3):
+            for s in range(16):
+                hops = router.next_hops(s, dest)
+                if s == dest:
+                    assert hops == []
+                    continue
+                d = router.distance(s, dest)
+                for t in hops:
+                    assert t in adj[s]
+                    assert router.distance(t, dest) == d - 1
+
+    def test_reachable(self, rrn_16):
+        router = EcmpTableRouter.for_network(rrn_16)
+        assert router.reachable(0, 15)
+        assert router.reachable(3, 3)
+
+    def test_disconnected_component(self):
+        router = EcmpTableRouter([[1], [0], []])
+        assert not router.reachable(0, 2)
+        assert router.next_hops(0, 2) == []
+
+    def test_max_route_length(self, rrn_16):
+        router = EcmpTableRouter.for_network(rrn_16)
+        assert router.max_route_length(list(range(16))) <= 4
+
+
+class TestDirectSimulation:
+    def test_low_load_delivery(self, rrn_16):
+        traffic = make_traffic("uniform", rrn_16.num_terminals, rng=1)
+        result = simulate(rrn_16, traffic, 0.2, FAST)
+        assert result.accepted_load == pytest.approx(0.2, abs=0.06)
+        assert result.measured_packets > 0
+
+    def test_saturation_sane(self):
+        net = random_regular_network(32, 5, 2, rng=4)
+        traffic = make_traffic("uniform", net.num_terminals, rng=2)
+        result = simulate(net, traffic, 1.0, FAST)
+        assert 0.2 < result.accepted_load < 1.0
+
+    def test_no_unroutable_on_connected(self, rrn_16):
+        traffic = make_traffic("uniform", rrn_16.num_terminals, rng=3)
+        sim = Simulator(rrn_16, traffic, 0.4, FAST)
+        sim.run()
+        assert sim.unroutable_packets == 0
+
+    def test_link_removal_drops_when_isolated(self, rrn_16):
+        # Cut every link of switch 0.
+        doomed = [l for l in rrn_16.links() if 0 in (l.lo, l.hi)]
+        traffic = make_traffic("uniform", rrn_16.num_terminals, rng=4)
+        sim = Simulator(rrn_16, traffic, 0.5, FAST, removed_links=doomed)
+        sim.run()
+        assert sim.unroutable_packets > 0
+
+    def test_hop_counts_match_distances(self, rrn_16):
+        traffic = make_traffic("uniform", rrn_16.num_terminals, rng=5)
+        result = simulate(rrn_16, traffic, 0.1, FAST)
+        # Mean switch hops must sit between 1 and the diameter.
+        assert 1.0 <= result.avg_hops <= 4.0
+
+
+class TestValiant:
+    def test_validation_needs_two_vcs(self):
+        with pytest.raises(ValueError):
+            SimulationParams(valiant=True, virtual_channels=1)
+
+    def test_valiant_doubles_hops(self):
+        topo, _ = rfc_with_updown(8, 24, 3, rng=6)
+        traffic = make_traffic("random-pairing", topo.num_terminals, rng=7)
+        direct = simulate(topo, traffic, 0.3, FAST)
+        traffic = make_traffic("random-pairing", topo.num_terminals, rng=7)
+        valiant = simulate(topo, traffic, 0.3, FAST.scaled(valiant=True))
+        assert valiant.avg_hops > 1.5 * direct.avg_hops
+
+    def test_paper_claim_minimal_beats_valiant_on_pairing(self):
+        """Section 3: RFCs route adversarial traffic well above the 50%
+        Valiant ceiling *without* randomization."""
+        topo, _ = rfc_with_updown(8, 32, 3, rng=8)
+        traffic = make_traffic("random-pairing", topo.num_terminals, rng=9)
+        minimal = simulate(topo, traffic, 1.0, FAST)
+        traffic = make_traffic("random-pairing", topo.num_terminals, rng=9)
+        valiant = simulate(topo, traffic, 1.0, FAST.scaled(valiant=True))
+        assert minimal.accepted_load > 0.5
+        assert minimal.accepted_load > valiant.accepted_load
+
+    def test_valiant_still_delivers_everything_routable(self):
+        topo, _ = rfc_with_updown(8, 24, 3, rng=10)
+        traffic = make_traffic("uniform", topo.num_terminals, rng=11)
+        sim = Simulator(topo, traffic, 0.2, FAST.scaled(valiant=True))
+        result = sim.run()
+        assert sim.unroutable_packets == 0
+        assert result.accepted_load == pytest.approx(0.2, abs=0.06)

@@ -1,0 +1,93 @@
+"""Hypothesis property tests on the simulation engine.
+
+Small random configurations checked for the invariants that must hold
+regardless of parameters: packet conservation, capacity bounds, and
+routing legality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rfc import radix_regular_rfc
+from repro.core.ancestors import has_updown_routing_of
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+engine_configs = st.fixed_dictionaries(
+    {
+        "radix": st.sampled_from([4, 6, 8]),
+        "n1": st.sampled_from([8, 12, 16]),
+        "load": st.floats(min_value=0.1, max_value=1.0),
+        "vcs": st.integers(min_value=1, max_value=4),
+        "buffers": st.integers(min_value=1, max_value=4),
+        "phits": st.sampled_from([1, 4, 16]),
+        "latency": st.integers(min_value=1, max_value=3),
+        "traffic": st.sampled_from(
+            ["uniform", "random-pairing", "fixed-random"]
+        ),
+        "seed": st.integers(min_value=0, max_value=1_000),
+    }
+)
+
+
+def build(config):
+    topo = radix_regular_rfc(
+        config["radix"], config["n1"], 2, rng=config["seed"]
+    )
+    params = SimulationParams(
+        measure_cycles=200,
+        warmup_cycles=50,
+        virtual_channels=config["vcs"],
+        buffer_packets=config["buffers"],
+        packet_phits=config["phits"],
+        link_latency=config["latency"],
+        seed=config["seed"],
+    )
+    traffic = make_traffic(
+        config["traffic"], topo.num_terminals, rng=config["seed"] + 1
+    )
+    return topo, Simulator(topo, traffic, config["load"], params)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=engine_configs)
+def test_packet_conservation(config):
+    topo, sim = build(config)
+    result = sim.run()
+    assert result.delivered_packets + sim.unroutable_packets <= (
+        result.generated_packets
+    )
+    assert result.measured_packets <= result.delivered_packets
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=engine_configs)
+def test_capacity_bounds(config):
+    topo, sim = build(config)
+    result = sim.run()
+    assert 0.0 <= result.accepted_load <= 1.0 + 1e-9
+    util = sim.link_utilization()
+    assert util["max"] <= 1.0 + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=engine_configs)
+def test_no_unroutable_when_routable(config):
+    topo, sim = build(config)
+    if not has_updown_routing_of(topo):
+        return
+    sim.run()
+    assert sim.unroutable_packets == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(config=engine_configs)
+def test_latency_at_least_serialization(config):
+    """No delivered packet can beat pure serialization latency."""
+    topo, sim = build(config)
+    result = sim.run()
+    if result.measured_packets == 0:
+        return
+    min_latency = config["latency"] + config["phits"] - 1
+    assert result.p50_latency >= min_latency

@@ -1,0 +1,101 @@
+"""Packet-trace cross-validation: engine hops obey up/down routing."""
+
+import pytest
+
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+FAST = SimulationParams(measure_cycles=400, warmup_cycles=100, seed=4)
+
+
+def trace_switch_path(topo, trace):
+    """Extract the sequence of switch flat-ids from a hop trace."""
+    path = []
+    for _, kind, peer in trace:
+        if kind == "generate":
+            path.append(topo.terminal_switch(peer))
+        elif kind == "forward":
+            path.append(peer)
+    return path
+
+
+class TestTraces:
+    def test_traces_recorded(self, rfc_medium):
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=1)
+        sim = Simulator(rfc_medium, traffic, 0.3, FAST, trace_limit=20)
+        sim.run()
+        assert 0 < len(sim.traces) <= 20
+
+    def test_traces_are_updown_paths(self, rfc_medium):
+        """Every traced packet must rise monotonically then fall."""
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=2)
+        sim = Simulator(rfc_medium, traffic, 0.3, FAST, trace_limit=40)
+        sim.run()
+        checked = 0
+        for trace in sim.traces.values():
+            if trace[-1][1] != "eject":
+                continue  # still in flight at horizon
+            switches = trace_switch_path(rfc_medium, trace)
+            levels = [rfc_medium.switch_level(s)[0] for s in switches]
+            apex = levels.index(max(levels))
+            assert levels[: apex + 1] == sorted(levels[: apex + 1])
+            assert levels[apex:] == sorted(levels[apex:], reverse=True)
+            checked += 1
+        assert checked > 5
+
+    def test_traced_hops_are_real_links(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=3)
+        sim = Simulator(cft_8_3, traffic, 0.3, FAST, trace_limit=30)
+        sim.run()
+        adjacency = cft_8_3.adjacency()
+        for trace in sim.traces.values():
+            switches = trace_switch_path(cft_8_3, trace)
+            for a, b in zip(switches, switches[1:]):
+                assert b in adjacency[a]
+
+    def test_eject_matches_destination(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=5)
+        sim = Simulator(cft_8_3, traffic, 0.3, FAST, trace_limit=30)
+        sim.run()
+        for trace in sim.traces.values():
+            ejects = [entry for entry in trace if entry[1] == "eject"]
+            if not ejects:
+                continue
+            assert len(ejects) == 1
+
+    def test_timestamps_monotone(self, rfc_medium):
+        traffic = make_traffic("uniform", rfc_medium.num_terminals, rng=6)
+        sim = Simulator(rfc_medium, traffic, 0.5, FAST, trace_limit=25)
+        sim.run()
+        for trace in sim.traces.values():
+            times = [t for t, _, _ in trace]
+            assert times == sorted(times)
+
+    def test_no_traces_by_default(self, cft_8_3):
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=7)
+        sim = Simulator(cft_8_3, traffic, 0.3, FAST)
+        sim.run()
+        assert sim.traces == {}
+
+    def test_valiant_trace_visits_intermediate(self, rfc_medium):
+        traffic = make_traffic(
+            "random-pairing", rfc_medium.num_terminals, rng=8
+        )
+        sim = Simulator(
+            rfc_medium, traffic, 0.2, FAST.scaled(valiant=True),
+            trace_limit=40,
+        )
+        sim.run()
+        # At least one completed trace should touch level 0 strictly
+        # between injection and ejection (the Valiant waypoint).
+        waypoint_seen = False
+        for trace in sim.traces.values():
+            if trace[-1][1] != "eject":
+                continue
+            switches = trace_switch_path(rfc_medium, trace)
+            levels = [rfc_medium.switch_level(s)[0] for s in switches]
+            if 0 in levels[1:-1]:
+                waypoint_seen = True
+                break
+        assert waypoint_seen

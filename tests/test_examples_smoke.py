@@ -1,0 +1,30 @@
+"""Smoke test: the quickstart example runs end to end.
+
+The heavier examples (expansion, failure drill, shoot-out, planner)
+take tens of seconds each and are exercised manually / in CI nightly;
+the quickstart is the one users copy first, so it must stay green.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_runs_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "generated RFC" in out
+        assert "flow-level max-min saturation" in out
+
+    def test_all_examples_compile(self):
+        for script in EXAMPLES.glob("*.py"):
+            compile(script.read_text(), str(script), "exec")

@@ -1,0 +1,122 @@
+"""Strong/weak expansion tests."""
+
+import pytest
+
+from repro.core.ancestors import has_updown_routing_of
+from repro.core.expansion import (
+    ExpansionError,
+    RewiringReport,
+    expand_rfc,
+    expand_rrn,
+    strong_expansion_limit,
+    weak_expand_rfc,
+)
+from repro.core.theory import rfc_max_leaves
+from repro.topologies.rrn import random_regular_network
+
+
+class TestRewiringReport:
+    def test_merge(self):
+        a = RewiringReport(1, 2, 3, 4)
+        a.merge(RewiringReport(10, 20, 30, 40))
+        assert (a.links_removed, a.links_added) == (11, 22)
+        assert (a.switches_added, a.terminals_added) == (33, 44)
+
+    def test_fraction(self):
+        assert RewiringReport(links_removed=5).rewired_fraction(100) == 0.05
+        with pytest.raises(ValueError):
+            RewiringReport().rewired_fraction(0)
+
+
+class TestExpandRFC:
+    def test_minimal_step_growth(self, rfc_medium):
+        expanded, report = expand_rfc(rfc_medium, steps=1, rng=1)
+        levels = rfc_medium.num_levels
+        # Two switches per non-root level, one root, R terminals.
+        assert report.switches_added == 2 * (levels - 1) + 1
+        assert report.terminals_added == rfc_medium.radix
+        assert expanded.num_leaves == rfc_medium.num_leaves + 2
+        assert (
+            expanded.num_terminals
+            == rfc_medium.num_terminals + rfc_medium.radix
+        )
+
+    def test_stays_radix_regular(self, rfc_medium):
+        expanded, _ = expand_rfc(rfc_medium, steps=3, rng=2)
+        assert expanded.is_radix_regular()
+        expanded.validate()
+
+    def test_wire_conservation(self, rfc_medium):
+        expanded, report = expand_rfc(rfc_medium, steps=2, rng=3)
+        # Every broken link adds two; direct new-new links add one.
+        assert (
+            expanded.num_links
+            == rfc_medium.num_links
+            + report.links_added
+            - report.links_removed
+        )
+
+    def test_usually_stays_routable_below_limit(self, rfc_medium):
+        # 32 leaves with radix 8 is comfortably below the limit of 52,
+        # so a couple of expansion steps should preserve routability.
+        expanded, _ = expand_rfc(rfc_medium, steps=2, rng=4)
+        assert has_updown_routing_of(expanded)
+
+    def test_deterministic(self, rfc_medium):
+        a, _ = expand_rfc(rfc_medium, steps=1, rng=9)
+        b, _ = expand_rfc(rfc_medium, steps=1, rng=9)
+        assert a.links() == b.links()
+
+    def test_rejects_zero_steps(self, rfc_medium):
+        with pytest.raises(ExpansionError):
+            expand_rfc(rfc_medium, steps=0)
+
+
+class TestWeakExpandRFC:
+    def test_adds_level(self, rfc_medium):
+        expanded, report = weak_expand_rfc(rfc_medium, rng=1)
+        assert expanded.num_levels == rfc_medium.num_levels + 1
+        assert expanded.is_radix_regular()
+        assert expanded.num_terminals == rfc_medium.num_terminals
+        assert report.switches_added == rfc_medium.num_leaves
+
+    def test_restores_routability_headroom(self, rfc_medium):
+        expanded, _ = weak_expand_rfc(rfc_medium, rng=2)
+        assert has_updown_routing_of(expanded)
+        assert rfc_max_leaves(
+            expanded.radix, expanded.num_levels
+        ) > rfc_max_leaves(rfc_medium.radix, rfc_medium.num_levels)
+
+
+class TestExpandRRN:
+    def test_growth_and_regularity(self):
+        net = random_regular_network(16, 4, 2, rng=5)
+        bigger, report = expand_rrn(net, new_switches=4, rng=6)
+        assert bigger.num_switches == 20
+        assert report.switches_added == 4
+        assert report.terminals_added == 8
+        assert all(bigger.degree(s) == 4 for s in range(20))
+
+    def test_odd_degree_pairs_spares(self):
+        net = random_regular_network(12, 5, 1, rng=7)
+        bigger, _ = expand_rrn(net, new_switches=2, rng=8)
+        assert all(bigger.degree(s) == 5 for s in range(14))
+
+    def test_rewiring_counts(self):
+        net = random_regular_network(16, 4, 2, rng=9)
+        _, report = expand_rrn(net, new_switches=1, rng=10)
+        assert report.links_removed == 2  # degree/2 breaks
+        assert report.links_added == 4
+
+    def test_rejects_tiny(self):
+        net = random_regular_network(4, 2, 1, rng=0)
+        with pytest.raises(ExpansionError):
+            expand_rrn(net, new_switches=0)
+
+
+class TestStrongExpansionLimit:
+    def test_matches_theory(self):
+        assert strong_expansion_limit(36, 3) == rfc_max_leaves(36, 3)
+
+    def test_paper_value(self):
+        assert strong_expansion_limit(36, 3) == 11_254

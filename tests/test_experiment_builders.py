@@ -1,0 +1,78 @@
+"""Tests for the matched-size network builders used by Table 3."""
+
+import pytest
+
+from repro.core.theory import rfc_max_leaves
+from repro.experiments.table3_disconnect import (
+    cft_for_terminals,
+    oft_for_terminals,
+    rfc_for_terminals,
+    rrn_for_terminals,
+)
+
+
+class TestCftBuilder:
+    def test_paper_sizings(self):
+        # Paper: T~1024 -> R=16 CFT (2*8^3=1024); T~2048 -> R=20.
+        assert cft_for_terminals(1024).radix == 16
+        assert cft_for_terminals(2048).radix == 20
+
+    def test_capacity_near_target(self):
+        for target in (512, 1024, 4096):
+            topo = cft_for_terminals(target)
+            assert 0.5 * target <= topo.num_terminals <= 2 * target
+
+
+class TestRfcBuilder:
+    def test_paper_sizing_2048(self):
+        # Paper: T~2048 with R=14 for the RFC.
+        topo = rfc_for_terminals(2048, rng=1)
+        assert topo.radix == 14
+
+    def test_smaller_radix_than_cft(self):
+        for target in (1024, 4096):
+            rfc = rfc_for_terminals(target, rng=2)
+            cft = cft_for_terminals(target)
+            assert rfc.radix < cft.radix
+
+    def test_respects_threshold(self):
+        topo = rfc_for_terminals(1024, rng=3)
+        assert topo.num_leaves <= rfc_max_leaves(topo.radix, 3)
+
+
+class TestRrnBuilder:
+    def test_diameter_feasible(self):
+        import math
+
+        net = rrn_for_terminals(1024, rng=4)
+        n = net.num_switches
+        degree = net.degree(0)
+        assert 2 * n * math.log(n) <= float(degree) ** 4
+
+    def test_terminals_close(self):
+        net = rrn_for_terminals(2048, rng=5)
+        assert 0.8 * 2048 <= net.num_terminals <= 1.3 * 2048
+
+
+class TestOftBuilder:
+    def test_nearest_prime_power(self):
+        # T~1024 at 3 levels -> q=3 (T=1352), the paper's R=8 point.
+        topo = oft_for_terminals(1024)
+        assert topo.radix == 8
+        assert topo.num_terminals == 1352
+
+    def test_8192_prefers_q5(self):
+        topo = oft_for_terminals(8192)
+        assert topo.radix == 12  # q = 5
+
+
+class TestWeakExpandTwoLevels:
+    def test_two_level_rfc_gains_level(self):
+        from repro.core.expansion import weak_expand_rfc
+        from repro.core.rfc import rfc_with_updown
+
+        topo, _ = rfc_with_updown(8, 16, 2, rng=6)
+        taller, report = weak_expand_rfc(topo, rng=7)
+        assert taller.num_levels == 3
+        assert taller.is_radix_regular()
+        assert report.switches_added == topo.num_leaves

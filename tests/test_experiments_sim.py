@@ -1,0 +1,69 @@
+"""Simulation-scenario experiment tests (trimmed loads to stay fast)."""
+
+import pytest
+
+from repro.experiments.scenario_sim import build_networks, run_scenario
+
+
+class TestBuildNetworks:
+    @pytest.mark.parametrize(
+        "name", ["equal-resources-11k", "intermediate-100k", "maximum-200k"]
+    )
+    def test_quick_networks_valid(self, name):
+        networks = build_networks(name, quick=True, seed=0)
+        networks.cft.validate()
+        networks.rfc.validate()
+        assert networks.rfc.num_levels == 3
+
+    def test_equal_resources_match(self):
+        networks = build_networks("equal-resources-11k", quick=True, seed=0)
+        assert networks.cft.num_terminals == networks.rfc.num_terminals
+        assert networks.cft.num_levels == networks.rfc.num_levels
+
+    def test_intermediate_cft_has_extra_level(self):
+        networks = build_networks("intermediate-100k", quick=True, seed=0)
+        assert networks.cft.num_levels == networks.rfc.num_levels + 1
+
+    def test_full_scenario1_has_alt_rfc(self):
+        networks = build_networks("equal-resources-11k", quick=False, seed=0)
+        assert networks.rfc_alt is not None
+        assert networks.rfc_alt.radix < networks.rfc.radix
+        # Nearly the same terminal count with smaller switches.
+        ratio = networks.rfc_alt.num_terminals / networks.rfc.num_terminals
+        assert 0.95 < ratio <= 1.0
+
+
+class TestScenarioSweep:
+    def test_single_load_runs(self):
+        table = run_scenario(
+            "equal-resources-11k",
+            quick=True,
+            seed=0,
+            loads=[0.4],
+            traffics=("uniform",),
+        )
+        assert len(table.rows) == 1
+        by = dict(zip(table.headers, table.rows[0]))
+        assert by["CFT accepted"] == pytest.approx(0.4, abs=0.08)
+        assert by["RFC accepted"] == pytest.approx(0.4, abs=0.08)
+
+    def test_uniform_near_parity_at_saturation(self):
+        table = run_scenario(
+            "equal-resources-11k",
+            quick=True,
+            seed=0,
+            loads=[1.0],
+            traffics=("uniform",),
+        )
+        by = dict(zip(table.headers, table.rows[0]))
+        assert abs(by["CFT accepted"] - by["RFC accepted"]) < 0.12
+
+    def test_flow_level_notes_present(self):
+        table = run_scenario(
+            "equal-resources-11k",
+            quick=True,
+            seed=0,
+            loads=[0.3],
+            traffics=("random-pairing",),
+        )
+        assert any("flow-level" in note for note in table.notes)

@@ -1,0 +1,144 @@
+"""Tests for deterministic fat-tree constructions."""
+
+import pytest
+
+from repro.graphs.metrics import diameter, leaf_diameter
+from repro.topologies.base import NetworkError
+from repro.topologies.fattree import (
+    cft_level_sizes,
+    cft_levels_for_terminals,
+    cft_radix_for,
+    cft_switches,
+    cft_terminals,
+    cft_wires,
+    commodity_fat_tree,
+    k_ary_l_tree,
+    partially_populated_cft,
+    xgft,
+)
+
+
+class TestXGFT:
+    def test_trivial_single_switch(self):
+        topo = xgft([4], [1])
+        assert topo.num_levels == 1
+        assert topo.num_terminals == 4
+        assert topo.num_links == 0
+
+    def test_two_level_counts(self):
+        topo = xgft([2, 3], [1, 2])
+        # 3 leaves, each with 2 parents; 2 tops, each with 3 children.
+        assert topo.level_sizes == [3, 2]
+        assert topo.num_links == 6
+        assert all(topo.up_degree(0, s) == 2 for s in range(3))
+        assert all(len(topo.down_neighbors(1, s)) == 3 for s in range(2))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(NetworkError):
+            xgft([2, 2], [1])
+        with pytest.raises(NetworkError):
+            xgft([], [])
+        with pytest.raises(NetworkError):
+            xgft([0, 2], [1, 2])
+
+    def test_wiring_is_valid_folded_clos(self):
+        topo = xgft([3, 2, 4], [1, 2, 3])
+        topo.validate()
+
+
+class TestCommodityFatTree:
+    @pytest.mark.parametrize("radix,levels", [(4, 2), (4, 3), (6, 3), (8, 3)])
+    def test_matches_closed_forms(self, radix, levels):
+        topo = commodity_fat_tree(radix, levels)
+        assert topo.num_terminals == cft_terminals(radix, levels)
+        assert topo.level_sizes == cft_level_sizes(radix, levels)
+        assert topo.num_switches == cft_switches(radix, levels)
+        assert topo.num_links == cft_wires(radix, levels)
+
+    def test_radix_regular(self, cft_4_3):
+        assert cft_4_3.is_radix_regular()
+        cft_4_3.validate()
+
+    def test_terminal_count_formula(self):
+        # Paper: 2 * (R/2)^l -- e.g. 11,664 for R=36, l=3.
+        assert cft_terminals(36, 3) == 11_664
+        assert cft_terminals(36, 4) == 209_952
+
+    def test_paper_wire_counts(self):
+        # Section 5: the 4-level 36-CFT uses 40,824 switches and
+        # 629,856 wires.
+        assert cft_switches(36, 4) == 40_824
+        assert cft_wires(36, 4) == 629_856
+
+    def test_diameter_is_2_l_minus_1(self, cft_4_3):
+        leaves = [cft_4_3.switch_id(0, i) for i in range(cft_4_3.num_leaves)]
+        assert leaf_diameter(cft_4_3.adjacency(), leaves) == 4
+
+    def test_single_level(self):
+        topo = commodity_fat_tree(8, 1)
+        assert topo.num_terminals == 8
+        assert topo.num_switches == 1
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(NetworkError):
+            commodity_fat_tree(5, 2)
+
+    def test_rejects_tiny_radix_multilevel(self):
+        with pytest.raises(NetworkError):
+            commodity_fat_tree(2, 3)
+
+
+class TestKAryTree:
+    def test_counts(self, kary_2_3):
+        # k-ary l-tree: k^l terminals, l * k^(l-1) switches.
+        assert kary_2_3.num_terminals == 8
+        assert kary_2_3.num_switches == 12
+        assert kary_2_3.level_sizes == [4, 4, 4]
+
+    def test_cft_doubles_kary(self):
+        # Paper Section 3: a CFT doubles the k-ary l-tree's terminals.
+        kary = k_ary_l_tree(3, 3)
+        cft = commodity_fat_tree(6, 3)
+        assert cft.num_terminals == 2 * kary.num_terminals
+
+    def test_rejects_k1(self):
+        with pytest.raises(NetworkError):
+            k_ary_l_tree(1, 3)
+
+    def test_connected(self, kary_2_3):
+        assert diameter(kary_2_3.adjacency()) >= 4
+
+
+class TestPartialPopulation:
+    def test_same_fabric_fewer_hosts(self):
+        full = commodity_fat_tree(8, 3)
+        partial = partially_populated_cft(8, 3, hosts=2)
+        assert partial.level_sizes == full.level_sizes
+        assert partial.num_links == full.num_links
+        assert partial.num_terminals == full.num_leaves * 2
+        assert not partial.is_radix_regular()
+
+    def test_full_population_matches_cft(self):
+        partial = partially_populated_cft(8, 3, hosts=4)
+        assert partial.num_terminals == commodity_fat_tree(8, 3).num_terminals
+
+    def test_rejects_overfull(self):
+        with pytest.raises(NetworkError):
+            partially_populated_cft(8, 3, hosts=5)
+
+
+class TestSizingHelpers:
+    def test_levels_for_terminals(self):
+        assert cft_levels_for_terminals(36, 11_664) == 3
+        assert cft_levels_for_terminals(36, 11_665) == 4
+
+    def test_radix_for(self):
+        assert cft_radix_for(11_664, 3) == 36
+        assert cft_radix_for(11_665, 3) == 38
+
+    def test_levels_monotone(self):
+        previous = 1
+        for terminals in (10, 100, 1_000, 10_000, 100_000):
+            levels = cft_levels_for_terminals(8, terminals)
+            assert levels >= previous
+            previous = levels

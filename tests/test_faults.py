@@ -1,0 +1,141 @@
+"""Fault-injection machinery and resiliency metric tests."""
+
+import random
+
+import pytest
+
+from repro.faults.disconnection import (
+    disconnection_fraction,
+    disconnection_trial,
+)
+from repro.faults.removal import UnionFind, failure_threshold, shuffled_links
+from repro.faults.updown_survival import (
+    pruned_stages,
+    updown_fault_tolerance,
+    updown_trial,
+)
+from repro.topologies.base import DirectNetwork, Link
+
+
+class TestUnionFind:
+    def test_components_count(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)  # already joined
+        assert uf.components == 3
+        assert uf.same(0, 2)
+        assert not uf.same(0, 3)
+
+    def test_all_connected(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.all_connected([0, 1])
+        assert not uf.all_connected([0, 2])
+        assert uf.all_connected([])
+
+
+class TestFailureThreshold:
+    def test_finds_exact_break(self):
+        # Property survives the first 6 removals, breaks at the 7th.
+        assert failure_threshold(20, lambda k: k <= 6) == 7
+
+    def test_immediately_broken(self):
+        assert failure_threshold(10, lambda k: False) == 0
+
+    def test_never_broken(self):
+        assert failure_threshold(10, lambda k: True) == 11
+
+    def test_binary_search_probes_monotone(self):
+        calls = []
+
+        def still_ok(k):
+            calls.append(k)
+            return k < 50
+
+        assert failure_threshold(1000, still_ok) == 50
+        assert len(calls) < 25  # logarithmic
+
+
+class TestShuffledLinks:
+    def test_permutation_of_links(self, cft_4_3):
+        order = shuffled_links(cft_4_3, rng=1)
+        assert sorted(order) == sorted(cft_4_3.links())
+
+    def test_seeded(self, cft_4_3):
+        assert shuffled_links(cft_4_3, rng=2) == shuffled_links(cft_4_3, rng=2)
+
+
+def ring_network(n=8):
+    adj = [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+    return DirectNetwork(adj, hosts_per_switch=1, name="ring")
+
+
+class TestDisconnection:
+    def test_ring_needs_two_failures(self):
+        # A cycle stays connected after any single removal and breaks
+        # at the second (unless adjacent pair... no: any 2 removals cut
+        # a cycle into two arcs unless they are the same link).
+        ring = ring_network()
+        for seed in range(5):
+            assert disconnection_trial(ring, rng=seed) == 2
+
+    def test_fraction_aggregates(self):
+        result = disconnection_fraction(ring_network(), trials=10, rng=1)
+        assert result.mean_fraction == pytest.approx(2 / 8)
+        assert result.stdev_fraction == 0.0
+        assert result.trials == 10
+
+    def test_leaves_scope_tolerates_stranded_roots(self, cft_4_3):
+        rng = random.Random(3)
+        switch_scope = disconnection_fraction(
+            cft_4_3, trials=10, rng=rng, scope="switches"
+        )
+        rng = random.Random(3)
+        leaf_scope = disconnection_fraction(
+            cft_4_3, trials=10, rng=rng, scope="leaves"
+        )
+        assert leaf_scope.mean_fraction >= switch_scope.mean_fraction
+
+    def test_rejects_unknown_scope(self, cft_4_3):
+        with pytest.raises(ValueError):
+            disconnection_trial(cft_4_3, rng=0, scope="pods")
+
+    def test_paper_ordering_small_scale(self, cft_8_3, rfc_medium):
+        """RFC (smaller effective redundancy per wire at equal radix
+        and size here) still within sane band of the CFT."""
+        cft = disconnection_fraction(cft_8_3, trials=8, rng=4)
+        rfc = disconnection_fraction(rfc_medium, trials=8, rng=4)
+        assert 0.1 < cft.mean_fraction < 0.8
+        assert 0.1 < rfc.mean_fraction < 0.8
+
+
+class TestUpdownSurvival:
+    def test_oft2_zero_tolerance(self, oft_q2_l2):
+        """Any single failure kills a unique-path pair (paper §7)."""
+        for seed in range(4):
+            assert updown_trial(oft_q2_l2, rng=seed) == 0
+
+    def test_rfc_positive_tolerance(self, rfc_medium):
+        result = updown_fault_tolerance(rfc_medium, trials=5, rng=2)
+        assert result.mean_fraction > 0.0
+        assert result.total_links == rfc_medium.num_links
+
+    def test_pruned_stages_removes_both_views(self, rfc_small):
+        link = rfc_small.links()[0]
+        stages = pruned_stages(rfc_small, {link})
+        level, index = rfc_small.switch_level(link.lo)
+        _, upper = rfc_small.switch_level(link.hi)
+        assert upper not in stages[level][index]
+
+    def test_tolerance_decreases_near_capacity(self):
+        """Radix slack buys fault tolerance (Figure 11's message)."""
+        from repro.core.rfc import rfc_with_updown
+
+        small, _ = rfc_with_updown(8, 16, 3, rng=1)   # far below cap 52
+        large, _ = rfc_with_updown(8, 48, 3, rng=1)   # near cap
+        tol_small = updown_fault_tolerance(small, trials=5, rng=3)
+        tol_large = updown_fault_tolerance(large, trials=5, rng=3)
+        assert tol_small.mean_fraction > tol_large.mean_fraction

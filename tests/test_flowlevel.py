@@ -1,0 +1,114 @@
+"""Flow-level max-min fairness model tests."""
+
+import pytest
+
+from repro.simulation.flowlevel import (
+    flow_level_throughput,
+    flow_routes,
+    max_min_rates,
+)
+
+
+class TestMaxMinRates:
+    def test_single_bottleneck_shared(self):
+        rates = max_min_rates([["L"], ["L"]])
+        assert rates == [0.5, 0.5]
+
+    def test_classic_three_flow(self):
+        # Flows: A on link1, B on link1+link2, C on link2.
+        rates = max_min_rates([["l1"], ["l1", "l2"], ["l2"]])
+        assert rates == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_unequal_bottlenecks(self):
+        # f0 alone on fat path; f1 and f2 share one link.
+        rates = max_min_rates([["a"], ["b"], ["b"]])
+        assert rates == pytest.approx([1.0, 0.5, 0.5])
+
+    def test_max_min_property(self):
+        # The bottlenecked flow gets its fair share, the free flow the
+        # leftovers: f0 uses l1 only, f1 uses l1 and l2, f2 uses l2
+        # twice as heavy: verify monotone water filling.
+        flows = [["l1"], ["l1", "l2"], ["l2"], ["l2"]]
+        rates = max_min_rates(flows)
+        assert rates[1] == pytest.approx(1 / 3)
+        assert rates[2] == pytest.approx(1 / 3)
+        assert rates[3] == pytest.approx(1 / 3)
+        assert rates[0] == pytest.approx(2 / 3)
+
+    def test_empty_route_gets_capacity(self):
+        assert max_min_rates([[]]) == [1.0]
+
+    def test_custom_capacity(self):
+        rates = max_min_rates([["x"], ["x"]], capacity=4.0)
+        assert rates == [2.0, 2.0]
+
+    def test_no_flow(self):
+        assert max_min_rates([]) == []
+
+    def test_total_per_link_never_exceeds_capacity(self, rng):
+        # Random flows over a small link universe.
+        links = [f"l{i}" for i in range(6)]
+        flows = [
+            [links[rng.randrange(6)] for _ in range(rng.randint(1, 3))]
+            for _ in range(40)
+        ]
+        rates = max_min_rates(flows)
+        usage: dict[str, float] = {}
+        for route, rate in zip(flows, rates):
+            for link in set(route):
+                # A flow visiting a link twice still consumes once per
+                # traversal; use full multiplicity.
+                pass
+            for link in route:
+                usage[link] = usage.get(link, 0.0) + rate
+        assert all(u <= 1.0 + 1e-9 for u in usage.values())
+
+
+class TestFlowRoutes:
+    def test_route_structure(self, rfc_medium):
+        [route] = flow_routes(rfc_medium, [(0, 100)], rng=1)
+        assert route[0] == ("inj", 0)
+        assert route[-1] == ("ej", 100)
+        # Interior entries are directed switch links.
+        for link in route[1:-1]:
+            a, b = link
+            assert isinstance(a, int) and isinstance(b, int)
+
+    def test_same_leaf_route_minimal(self, rfc_medium):
+        hosts = rfc_medium.hosts_per_leaf
+        [route] = flow_routes(rfc_medium, [(0, hosts - 1)], rng=1)
+        assert route == [("inj", 0), ("ej", hosts - 1)]
+
+
+class TestThroughput:
+    def test_in_unit_interval(self, cft_8_3):
+        for name in ("uniform", "random-pairing", "fixed-random"):
+            value = flow_level_throughput(cft_8_3, name, rng=2)
+            assert 0.0 < value <= 1.0
+
+    def test_cft_pairing_beats_rfc(self, cft_8_3, rfc_medium):
+        """Paper Figure 8: the rearrangeably non-blocking CFT wins
+        random-pairing against the equal-resource RFC."""
+        cft = flow_level_throughput(
+            cft_8_3, "random-pairing", paths_per_flow=6, rng=3
+        )
+        rfc = flow_level_throughput(
+            rfc_medium, "random-pairing", paths_per_flow=6, rng=3
+        )
+        assert cft > rfc
+
+    def test_uniform_near_parity(self, cft_8_3, rfc_medium):
+        cft = flow_level_throughput(
+            cft_8_3, "uniform", flows_per_terminal=4, rng=4
+        )
+        rfc = flow_level_throughput(
+            rfc_medium, "uniform", flows_per_terminal=4, rng=4
+        )
+        assert abs(cft - rfc) < 0.15
+
+    def test_fixed_random_capped_by_hotspots(self, cft_8_3):
+        hot = flow_level_throughput(cft_8_3, "fixed-random", rng=5)
+        uni = flow_level_throughput(
+            cft_8_3, "uniform", flows_per_terminal=4, rng=5
+        )
+        assert hot < uni

@@ -1,0 +1,115 @@
+"""Field-axiom tests for GF(p^n)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topologies.galois import (
+    GaloisField,
+    field,
+    is_prime,
+    is_prime_power,
+    nearest_prime_power,
+    prime_power_decomposition,
+)
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+class TestPrimePredicates:
+    def test_is_prime(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23}
+        for n in range(25):
+            assert is_prime(n) == (n in primes)
+
+    def test_prime_power_decomposition(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(7) == (7, 1)
+        assert prime_power_decomposition(12) is None
+        assert prime_power_decomposition(1) is None
+
+    def test_is_prime_power(self):
+        assert all(is_prime_power(q) for q in FIELD_ORDERS)
+        assert not any(is_prime_power(q) for q in (1, 6, 10, 12, 15, 18))
+
+    def test_nearest_prime_power(self):
+        assert nearest_prime_power(6) == 5
+        assert nearest_prime_power(7) == 7
+        assert nearest_prime_power(15) == 16
+        assert nearest_prime_power(1) == 2
+
+
+class TestFieldAxioms:
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_additive_group(self, q):
+        gf = field(q)
+        for a in gf.elements():
+            assert gf.add(a, 0) == a
+            assert gf.add(a, gf.neg(a)) == 0
+        # Commutativity on a sample.
+        for a in range(min(q, 6)):
+            for b in range(min(q, 6)):
+                assert gf.add(a, b) == gf.add(b, a)
+
+    @pytest.mark.parametrize("q", FIELD_ORDERS)
+    def test_multiplicative_group(self, q):
+        gf = field(q)
+        for a in range(1, q):
+            assert gf.mul(a, 1) == a
+            assert gf.mul(a, gf.inv(a)) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    @pytest.mark.parametrize("q", [4, 8, 9, 16, 27])
+    def test_extension_distributivity(self, q):
+        gf = field(q)
+        sample = list(range(min(q, 8)))
+        for a in sample:
+            for b in sample:
+                for c in sample[:4]:
+                    left = gf.mul(a, gf.add(b, c))
+                    right = gf.add(gf.mul(a, b), gf.mul(a, c))
+                    assert left == right
+
+    @pytest.mark.parametrize("q", [4, 9, 8])
+    def test_multiplication_is_a_latin_square(self, q):
+        gf = field(q)
+        for a in range(1, q):
+            row = {gf.mul(a, b) for b in range(1, q)}
+            assert row == set(range(1, q))
+
+    def test_pow(self):
+        gf = field(7)
+        assert gf.pow(3, 0) == 1
+        assert gf.pow(3, 6) == 1  # Fermat
+        assert gf.pow(3, -1) == gf.inv(3)
+
+    def test_characteristic_sum(self):
+        gf = field(9)
+        acc = 0
+        for _ in range(3):
+            acc = gf.add(acc, 1)
+        assert acc == 0  # characteristic 3
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            GaloisField(6)
+
+    def test_rejects_out_of_range_elements(self):
+        gf = field(5)
+        with pytest.raises(ValueError):
+            gf.add(5, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        q=st.sampled_from([4, 8, 9]),
+        data=st.data(),
+    )
+    def test_property_associativity(self, q, data):
+        gf = field(q)
+        a = data.draw(st.integers(0, q - 1))
+        b = data.draw(st.integers(0, q - 1))
+        c = data.draw(st.integers(0, q - 1))
+        assert gf.add(gf.add(a, b), c) == gf.add(a, gf.add(b, c))
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))

@@ -1,0 +1,67 @@
+"""Extended finite-field coverage: larger orders and slow-path code."""
+
+import pytest
+
+from repro.topologies.galois import TABLE_LIMIT, GaloisField, field
+
+
+class TestLargerFields:
+    @pytest.mark.parametrize("q", [32, 49, 64])
+    def test_table_backed_orders(self, q):
+        gf = field(q)
+        assert gf.order == q
+        # Spot-check group laws.
+        for a in (1, 2, q - 1):
+            assert gf.mul(a, gf.inv(a)) == 1
+            assert gf.add(a, gf.neg(a)) == 0
+
+    def test_beyond_table_limit_uses_slow_path(self):
+        q = 81  # 3^4 > TABLE_LIMIT
+        assert q > TABLE_LIMIT
+        gf = GaloisField(q)
+        assert gf._mul_table is None
+        assert gf.mul(5, 1) == 5
+        assert gf.mul(0, 17) == 0
+        a = 23
+        assert gf.mul(a, gf.inv(a)) == 1
+        assert gf.add(a, gf.neg(a)) == 0
+
+    def test_frobenius_is_additive(self):
+        """(a+b)^p = a^p + b^p in characteristic p."""
+        gf = field(9)
+        p = gf.characteristic
+        for a in range(9):
+            for b in range(9):
+                left = gf.pow(gf.add(a, b), p)
+                right = gf.add(gf.pow(a, p), gf.pow(b, p))
+                assert left == right
+
+    def test_multiplicative_order_divides_q_minus_1(self):
+        gf = field(8)
+        for a in range(1, 8):
+            assert gf.pow(a, 7) == 1  # x^(q-1) = 1
+
+    def test_sub(self):
+        gf = field(7)
+        for a in range(7):
+            for b in range(7):
+                assert gf.add(gf.sub(a, b), b) == a
+
+
+class TestProjectiveLargerOrders:
+    @pytest.mark.parametrize("q", [7, 8])
+    def test_axioms_hold(self, q):
+        from repro.topologies.projective import projective_plane
+
+        plane = projective_plane(q)
+        assert plane.size == q * q + q + 1
+        # Dual regularity.
+        assert all(
+            len(plane.points_on_line(l)) == q + 1
+            for l in range(0, plane.size, 7)
+        )
+        # Sampled two-points-one-line.
+        for a in range(0, plane.size, 11):
+            for b in range(a + 1, plane.size, 13):
+                line = plane.line_through(a, b)
+                assert plane.is_incident(a, line)

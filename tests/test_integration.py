@@ -1,0 +1,126 @@
+"""Cross-module integration tests: generate -> analyze -> route ->
+simulate pipelines behaving consistently."""
+
+import random
+
+import pytest
+
+from repro.core.ancestors import has_updown_routing_of, stages_of
+from repro.core.expansion import expand_rfc
+from repro.core.rfc import rfc_with_updown
+from repro.core.theory import rfc_max_leaves, x_for_radix
+from repro.faults.updown_survival import pruned_stages
+from repro.graphs.metrics import leaf_diameter
+from repro.routing.updown import UpDownRouter
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.flowlevel import flow_level_throughput
+from repro.simulation.traffic import make_traffic
+from repro.topologies.fattree import commodity_fat_tree
+
+FAST = SimulationParams(measure_cycles=500, warmup_cycles=150, seed=0)
+
+
+class TestGenerateRouteSimulate:
+    def test_full_pipeline(self):
+        topo, attempts = rfc_with_updown(8, 24, 3, rng=5)
+        assert attempts >= 1
+        # Routing agrees with ancestor analysis for every pair.
+        router = UpDownRouter.for_topology(topo)
+        n1 = topo.num_leaves
+        for a in range(0, n1, 5):
+            for b in range(0, n1, 7):
+                assert router.reachable(a, b)
+        # And the network carries traffic.
+        traffic = make_traffic("uniform", topo.num_terminals, rng=1)
+        result = simulate(topo, traffic, 0.3, FAST)
+        assert result.accepted_load == pytest.approx(0.3, abs=0.06)
+
+    def test_diameter_bound_holds_at_capacity(self):
+        radix, levels = 10, 2
+        n1 = rfc_max_leaves(radix, levels)
+        topo, _ = rfc_with_updown(radix, n1, levels, rng=2, max_attempts=128)
+        leaves = [topo.switch_id(0, i) for i in range(n1)]
+        assert leaf_diameter(topo.adjacency(), leaves) <= 2 * (levels - 1)
+
+
+class TestExpansionPipeline:
+    def test_expand_then_route_and_simulate(self):
+        topo, _ = rfc_with_updown(8, 24, 3, rng=6)
+        expanded, report = expand_rfc(topo, steps=3, rng=7)
+        assert report.terminals_added == 24
+        assert has_updown_routing_of(expanded)
+        traffic = make_traffic("uniform", expanded.num_terminals, rng=2)
+        result = simulate(expanded, traffic, 0.3, FAST)
+        assert result.measured_packets > 0
+
+    def test_expansion_past_cap_loses_routability_eventually(self):
+        """Strong expansion works until the Theorem 4.2 cap (52 leaves
+        for radix 8, 3 levels); far beyond it routability must die."""
+        topo, _ = rfc_with_updown(8, 48, 3, rng=8)
+        cap = rfc_max_leaves(8, 3)
+        # Expand well past the cap: 48 -> 80 leaves.
+        expanded, _ = expand_rfc(topo, steps=16, rng=9)
+        assert expanded.num_leaves > cap
+        assert x_for_radix(8, expanded.num_leaves, 3) < 0
+        assert not has_updown_routing_of(expanded)
+
+
+class TestEngineVsFlowLevel:
+    def test_saturation_agreement(self, cft_8_3):
+        """The two performance models agree on magnitude and ranking."""
+        engine = {}
+        flow = {}
+        for name in ("uniform", "random-pairing"):
+            traffic = make_traffic(name, cft_8_3.num_terminals, rng=3)
+            engine[name] = simulate(
+                cft_8_3, traffic, 1.0, FAST
+            ).accepted_load
+            flow[name] = flow_level_throughput(
+                cft_8_3, name, flows_per_terminal=4, rng=3
+            )
+        for name in engine:
+            assert abs(engine[name] - flow[name]) < 0.3
+        assert (engine["uniform"] >= engine["random-pairing"] - 0.05) == (
+            flow["uniform"] >= flow["random-pairing"] - 0.05
+        )
+
+
+class TestFaultConsistency:
+    def test_engine_honours_pruned_routability(self):
+        """If ancestor analysis says the pruned net is still routable,
+        the engine must deliver everything (no unroutable drops)."""
+        topo, _ = rfc_with_updown(8, 24, 3, rng=10)
+        order = topo.links()
+        random.Random(4).shuffle(order)
+        removed = order[:6]
+        from repro.core.ancestors import has_updown_routing
+
+        routable = has_updown_routing(
+            topo.level_sizes, pruned_stages(topo, set(removed))
+        )
+        traffic = make_traffic("uniform", topo.num_terminals, rng=5)
+        sim = Simulator(topo, traffic, 0.4, FAST, removed_links=removed)
+        sim.run()
+        if routable:
+            assert sim.unroutable_packets == 0
+        else:
+            assert sim.unroutable_packets >= 0  # dropped, not crashed
+
+    def test_cft_vs_rfc_same_radix_same_size(self):
+        """Equal-resource comparison is apples-to-apples."""
+        cft = commodity_fat_tree(8, 3)
+        rfc, _ = rfc_with_updown(8, cft.num_leaves, 3, rng=11)
+        assert cft.num_terminals == rfc.num_terminals
+        assert cft.num_links == rfc.num_links
+        assert cft.num_switches == rfc.num_switches
+
+
+class TestStagesRoundTrip:
+    def test_stages_of_reconstructs_router(self, rfc_medium):
+        stages = stages_of(rfc_medium)
+        direct = UpDownRouter.for_topology(rfc_medium)
+        rebuilt = UpDownRouter(rfc_medium.level_sizes, stages)
+        for a in range(0, rfc_medium.num_leaves, 7):
+            for b in range(0, rfc_medium.num_leaves, 5):
+                assert direct.path_length(a, b) == rebuilt.path_length(a, b)

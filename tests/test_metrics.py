@@ -1,0 +1,100 @@
+"""Graph distance metric tests."""
+
+import pytest
+
+from repro.graphs.metrics import (
+    UNREACHABLE,
+    average_distance,
+    bfs_distances,
+    diameter,
+    distance_histogram,
+    eccentricity,
+    leaf_diameter,
+    terminal_diameter,
+)
+
+
+def path_graph(n):
+    return [
+        [j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)
+    ]
+
+
+def cycle_graph(n):
+    return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+class TestBFS:
+    def test_path_distances(self):
+        assert bfs_distances(path_graph(5), 0) == [0, 1, 2, 3, 4]
+
+    def test_disconnected_marked(self):
+        adj = [[1], [0], []]
+        assert bfs_distances(adj, 0) == [0, 1, UNREACHABLE]
+
+    def test_single_vertex(self):
+        assert bfs_distances([[]], 0) == [0]
+
+
+class TestEccentricityDiameter:
+    def test_path(self):
+        assert eccentricity(path_graph(6), 0) == 5
+        assert eccentricity(path_graph(6), 3) == 3
+        assert diameter(path_graph(6)) == 5
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(cycle_graph(7)) == 3
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            eccentricity([[1], [0], []], 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            diameter([])
+
+    def test_sampled_lower_bound(self):
+        adj = path_graph(20)
+        sampled = diameter(adj, sample=5, rng=3)
+        assert sampled <= 19
+        assert sampled >= 10  # half the path is always visible
+
+
+class TestAverageDistance:
+    def test_complete_graph(self):
+        n = 6
+        adj = [[j for j in range(n) if j != i] for i in range(n)]
+        assert average_distance(adj) == 1.0
+
+    def test_path3(self):
+        # distances: (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3
+        assert average_distance(path_graph(3)) == pytest.approx(4 / 3)
+
+    def test_trivial(self):
+        assert average_distance([[]]) == 0.0
+
+
+class TestHistogram:
+    def test_path3(self):
+        hist = distance_histogram(path_graph(3))
+        assert hist == {1: 4, 2: 2}  # ordered pairs
+
+
+class TestLeafDiameter:
+    def test_cft_leaf_diameter(self, cft_4_3):
+        leaves = [cft_4_3.switch_id(0, i) for i in range(cft_4_3.num_leaves)]
+        assert leaf_diameter(cft_4_3.adjacency(), leaves) == 4
+
+    def test_oft_shorter_than_graph_diameter(self, oft_q2_l2):
+        # Leaf-to-leaf is 2; the full switch graph has root-leaf pairs
+        # at distance 3.
+        adj = oft_q2_l2.adjacency()
+        leaves = [
+            oft_q2_l2.switch_id(0, i) for i in range(oft_q2_l2.num_leaves)
+        ]
+        assert leaf_diameter(adj, leaves) == 2
+        assert diameter(adj) == 3
+
+    def test_terminal_diameter(self, cft_4_3):
+        assert terminal_diameter(cft_4_3) == 6 + 2 - 2  # 4 + 2 host hops

@@ -1,0 +1,97 @@
+"""Orthogonal fat-tree construction tests."""
+
+import pytest
+
+from repro.core.ancestors import common_ancestors_of, has_updown_routing_of
+from repro.graphs.metrics import leaf_diameter
+from repro.routing.updown import UpDownRouter
+from repro.topologies.base import NetworkError
+from repro.topologies.oft import (
+    oft_level_sizes,
+    oft_order_for_radix,
+    oft_radix,
+    oft_switches,
+    oft_terminals,
+    oft_wires,
+    orthogonal_fat_tree,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q,levels", [(2, 2), (3, 2), (2, 3), (3, 3)])
+    def test_matches_closed_forms(self, q, levels):
+        topo = orthogonal_fat_tree(q, levels)
+        assert topo.num_terminals == oft_terminals(q, levels)
+        assert topo.level_sizes == oft_level_sizes(q, levels)
+        assert topo.num_switches == oft_switches(q, levels)
+        assert topo.num_links == oft_wires(q, levels)
+
+    @pytest.mark.parametrize("q,levels", [(2, 2), (3, 2), (2, 3)])
+    def test_radix_regular(self, q, levels):
+        topo = orthogonal_fat_tree(q, levels)
+        assert topo.is_radix_regular()
+        assert topo.radix == 2 * (q + 1)
+
+    def test_paper_terminal_formula(self):
+        # T = 2 (q+1)(q^2+q+1)^(l-1); e.g. q=3, l=3: 2*4*169 = 1352.
+        assert oft_terminals(3, 3) == 1_352
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(NetworkError):
+            orthogonal_fat_tree(6, 2)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(NetworkError):
+            orthogonal_fat_tree(2, 1)
+
+
+class TestRoutingStructure:
+    def test_updown_routable(self, oft_q2_l2, oft_q3_l3):
+        assert has_updown_routing_of(oft_q2_l2)
+        assert has_updown_routing_of(oft_q3_l3)
+
+    def test_diameter_bound(self, oft_q2_l2):
+        leaves = [
+            oft_q2_l2.switch_id(0, i) for i in range(oft_q2_l2.num_leaves)
+        ]
+        assert leaf_diameter(oft_q2_l2.adjacency(), leaves) == 2
+
+    def test_2level_minimal_routes_unique(self, oft_q2_l2):
+        """Paper Section 3: minimal routes in the 2-level OFT are unique."""
+        router = UpDownRouter.for_topology(oft_q2_l2)
+        n1 = oft_q2_l2.num_leaves
+        m = n1 // 2
+        for a in range(n1):
+            for b in range(a + 1, n1):
+                # Leaves carrying the same projective point in the two
+                # halves share q+1 ancestors; all other pairs exactly 1.
+                width = router.ecmp_width(a, b)
+                same_point = (a % m) == (b % m) and a != b
+                if same_point:
+                    assert width == 3  # q + 1 with q = 2
+                else:
+                    assert width == 1
+
+    def test_common_ancestor_level(self, oft_q2_l2):
+        level, ancestors = common_ancestors_of(oft_q2_l2, 0, 1)
+        assert level == 1
+        assert len(ancestors) >= 1
+
+
+class TestOrderForRadix:
+    def test_exact(self):
+        assert oft_order_for_radix(8) == 3
+        assert oft_order_for_radix(12) == 5
+        assert oft_order_for_radix(36) == 17
+
+    def test_non_prime_power_rounds_down(self):
+        # radix 14 -> ideal order 6 -> prime power 5.
+        assert oft_order_for_radix(14) == 5
+
+    def test_radix_roundtrip(self):
+        for q in (2, 3, 4, 5, 7):
+            assert oft_order_for_radix(oft_radix(q)) == q
+
+    def test_rejects_tiny(self):
+        with pytest.raises(NetworkError):
+            oft_order_for_radix(4)

@@ -1,0 +1,118 @@
+"""ASCII plotting tests + rotating arbiter + 4-level OFT coverage."""
+
+import pytest
+
+from repro.experiments.common import Table
+from repro.experiments.plotting import ascii_bars, ascii_plot
+
+
+def sample_table():
+    table = Table("demo", ["x", "a", "b"])
+    for x in (1, 10, 100, 1000):
+        table.add(x, x * 2, None if x == 10 else x / 2)
+    return table
+
+
+class TestAsciiPlot:
+    def test_renders_series_marks(self):
+        text = ascii_plot(sample_table(), "x", ["a", "b"], log_x=True)
+        assert "o = a" in text and "x = b" in text
+        assert "demo" in text
+        assert "o" in text
+
+    def test_skips_missing_values(self):
+        text = ascii_plot(sample_table(), "x", ["b"])
+        assert text.count("o") >= 3  # 3 valid points + legend char
+
+    def test_log_y(self):
+        text = ascii_plot(sample_table(), "x", ["a"], log_y=True)
+        assert "demo" in text
+
+    def test_empty_raises(self):
+        table = Table("empty", ["x", "y"])
+        with pytest.raises(ValueError):
+            ascii_plot(table, "x", ["y"])
+
+    def test_plot_fig6_runs(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("fig6", quick=True)
+        text = ascii_plot(
+            table, "radix", ["CFT l=3", "RFC l=3", "OFT l=3"], log_y=True
+        )
+        assert "CFT l=3" in text
+
+
+class TestAsciiBars:
+    def test_bars_scaled(self):
+        table = Table("bars", ["name", "value"])
+        table.add("small", 1.0)
+        table.add("big", 10.0)
+        text = ascii_bars(table, "name", "value", width=20)
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bars(Table("x", ["a", "b"]), "a", "b")
+
+
+class TestRotatingArbiter:
+    def test_validation(self):
+        from repro.simulation.config import SimulationParams
+
+        with pytest.raises(ValueError):
+            SimulationParams(arbiter="priority")
+        assert SimulationParams(arbiter="rotating").arbiter == "rotating"
+
+    def test_runs_and_delivers(self, cft_8_3):
+        from repro.simulation.config import SimulationParams
+        from repro.simulation.engine import simulate
+        from repro.simulation.traffic import make_traffic
+
+        params = SimulationParams(
+            measure_cycles=500, warmup_cycles=150, seed=1,
+            arbiter="rotating",
+        )
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=2)
+        result = simulate(cft_8_3, traffic, 0.5, params)
+        assert result.accepted_load == pytest.approx(0.5, abs=0.08)
+
+    def test_comparable_to_random(self, cft_8_3):
+        from repro.simulation.config import SimulationParams
+        from repro.simulation.engine import simulate
+        from repro.simulation.traffic import make_traffic
+
+        results = {}
+        for arbiter in ("random", "rotating"):
+            params = SimulationParams(
+                measure_cycles=600, warmup_cycles=200, seed=3,
+                arbiter=arbiter,
+            )
+            traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=4)
+            results[arbiter] = simulate(
+                cft_8_3, traffic, 1.0, params
+            ).accepted_load
+        assert abs(results["random"] - results["rotating"]) < 0.15
+
+
+class TestOftFourLevels:
+    def test_structure(self):
+        from repro.core.ancestors import has_updown_routing_of
+        from repro.topologies.oft import (
+            oft_terminals,
+            orthogonal_fat_tree,
+        )
+
+        topo = orthogonal_fat_tree(2, 4)
+        assert topo.is_radix_regular()
+        assert topo.num_terminals == oft_terminals(2, 4)
+        assert has_updown_routing_of(topo)
+
+    def test_diameter_bound(self):
+        from repro.graphs.metrics import leaf_diameter
+        from repro.topologies.oft import orthogonal_fat_tree
+
+        topo = orthogonal_fat_tree(2, 4)
+        leaves = [topo.switch_id(0, i) for i in range(topo.num_leaves)]
+        assert leaf_diameter(topo.adjacency(), leaves) <= 6

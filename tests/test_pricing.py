@@ -1,0 +1,58 @@
+"""Price model tests (the abstract's 95% cost-saving claim)."""
+
+import pytest
+
+from repro.cost.model import CostPoint, cft_cost, rfc_cost
+from repro.cost.pricing import PriceModel, max_rfc_saving
+
+
+class TestPriceModel:
+    def test_port_only_default(self):
+        point = CostPoint("X", radix=8, levels=2, terminals=10,
+                          switches=5, wires=20)
+        assert PriceModel().deployment_price(point) == 5 * 8
+
+    def test_component_prices(self):
+        point = CostPoint("X", radix=8, levels=2, terminals=10,
+                          switches=5, wires=20)
+        model = PriceModel(switch_base=100, per_port=2, per_cable=3,
+                           per_nic=5)
+        assert model.deployment_price(point) == (
+            100 * 5 + 2 * 5 * 8 + 3 * 20 + 5 * 10
+        )
+
+    def test_price_per_terminal(self):
+        point = cft_cost(8, 3)
+        model = PriceModel()
+        assert model.price_per_terminal(point) == pytest.approx(
+            model.deployment_price(point) / point.terminals
+        )
+
+    def test_rejects_empty_deployment(self):
+        point = CostPoint("X", 8, 2, terminals=0, switches=1, wires=0)
+        with pytest.raises(ValueError):
+            PriceModel().price_per_terminal(point)
+
+    def test_equal_resources_equal_price(self):
+        cft = cft_cost(36, 3)
+        rfc = rfc_cost(36, cft.terminals // 18, 3)
+        model = PriceModel(switch_base=50, per_port=1, per_cable=2)
+        assert model.deployment_price(cft) == model.deployment_price(rfc)
+
+
+class TestMaxSaving:
+    def test_paper_abstract_claim(self):
+        """'saving up to 95% of the cost' -- port-based, radix 36."""
+        terminals, saving = max_rfc_saving(36)
+        assert saving > 0.90
+        assert terminals > 11_664  # just past the 3-level CFT step
+
+    def test_saving_with_chassis_prices(self):
+        model = PriceModel(switch_base=1_000, per_port=100, per_cable=50,
+                           per_nic=30)
+        _, saving = max_rfc_saving(36, model=model)
+        assert saving > 0.75  # conclusion robust to price structure
+
+    def test_no_saving_at_equal_resources(self):
+        _, saving = max_rfc_saving(36, terminal_counts=[11_664])
+        assert saving == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,73 @@
+"""Projective plane axiom tests."""
+
+import pytest
+
+from repro.topologies.projective import ProjectivePlane, projective_plane
+
+ORDERS = [2, 3, 4, 5]
+
+
+class TestPlaneAxioms:
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_counts(self, q):
+        plane = projective_plane(q)
+        m = q * q + q + 1
+        assert plane.num_points == m
+        assert plane.num_lines == m
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_line_sizes(self, q):
+        plane = projective_plane(q)
+        for line in range(plane.num_lines):
+            assert len(plane.points_on_line(line)) == q + 1
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_point_degrees(self, q):
+        plane = projective_plane(q)
+        for point in range(plane.num_points):
+            assert len(plane.lines_through_point(point)) == q + 1
+
+    @pytest.mark.parametrize("q", [2, 3, 4])
+    def test_two_points_one_line(self, q):
+        plane = projective_plane(q)
+        for a in range(plane.num_points):
+            for b in range(a + 1, plane.num_points):
+                line = plane.line_through(a, b)
+                assert plane.is_incident(a, line)
+                assert plane.is_incident(b, line)
+
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_two_lines_one_point(self, q):
+        plane = projective_plane(q)
+        for la in range(plane.num_lines):
+            pa = set(plane.points_on_line(la))
+            for lb in range(la + 1, plane.num_lines):
+                assert len(pa & set(plane.points_on_line(lb))) == 1
+
+    def test_line_through_same_point_rejected(self):
+        plane = projective_plane(2)
+        with pytest.raises(ValueError):
+            plane.line_through(1, 1)
+
+    def test_rejects_non_prime_power_order(self):
+        with pytest.raises(ValueError):
+            ProjectivePlane(6)
+
+    def test_incidence_adjacency_shapes(self):
+        plane = projective_plane(3)
+        lines_per_point, points_per_line = plane.incidence_adjacency()
+        assert len(lines_per_point) == 13
+        assert len(points_per_line) == 13
+        assert all(len(r) == 4 for r in lines_per_point)
+        assert all(len(r) == 4 for r in points_per_line)
+
+    def test_fano_plane_is_pg2(self):
+        # q=2: the Fano plane, 7 points and 7 lines of 3 points.
+        plane = projective_plane(2)
+        assert plane.size == 7
+        assert all(len(plane.points_on_line(l)) == 3 for l in range(7))
+
+    def test_prime_power_order_9(self):
+        plane = projective_plane(9)  # needs GF(3^2)
+        assert plane.size == 91
+        assert len(plane.points_on_line(0)) == 10

@@ -1,0 +1,139 @@
+"""Hypothesis property-based tests on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ancestors import (
+    has_updown_routing_of,
+    stages_of,
+    updown_coverage,
+    updown_reachable_fraction,
+)
+from repro.core.rfc import radix_regular_rfc
+from repro.core.theory import rfc_max_leaves, threshold_radix, x_for_radix
+from repro.faults.removal import UnionFind
+from repro.graphs.connectivity import connected_components
+from repro.routing.updown import UpDownRouter
+from repro.simulation.flowlevel import max_min_rates
+
+# Feasible (radix, n1, levels) triples for quick RFC generation.
+rfc_params = st.tuples(
+    st.sampled_from([4, 6, 8]),
+    st.integers(min_value=4, max_value=16).map(lambda k: 2 * k),
+    st.sampled_from([2, 3]),
+    st.integers(min_value=0, max_value=10_000),
+).filter(lambda t: t[0] // 2 <= t[1] // 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=rfc_params)
+def test_rfc_always_radix_regular(params):
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    assert topo.is_radix_regular()
+    topo.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=rfc_params)
+def test_coverage_is_symmetric(params):
+    """Leaf b reachable from a iff a reachable from b (up/down paths
+    are reversible)."""
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    cover = updown_coverage(topo.level_sizes, stages_of(topo))
+    for a in range(n1):
+        for b in range(n1):
+            assert ((cover[a] >> b) & 1) == ((cover[b] >> a) & 1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=rfc_params)
+def test_routability_equals_full_fraction(params):
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    frac = updown_reachable_fraction(topo.level_sizes, stages_of(topo))
+    assert (frac == 1.0) == has_updown_routing_of(topo)
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=rfc_params, data=st.data())
+def test_router_paths_match_min_length(params, data):
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    if not has_updown_routing_of(topo):
+        return
+    router = UpDownRouter.for_topology(topo)
+    a = data.draw(st.integers(0, n1 - 1))
+    b = data.draw(st.integers(0, n1 - 1))
+    path = router.path(a, b, rng=random.Random(seed))
+    assert len(path) - 1 == router.path_length(a, b)
+    assert len(path) - 1 <= 2 * (levels - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_max_min_is_feasible_and_positive(flows):
+    routes = [[f"l{x}" for x in route] for route in flows]
+    rates = max_min_rates(routes)
+    assert all(r > 0 for r in rates)
+    usage: dict[str, float] = {}
+    for route, rate in zip(routes, rates):
+        for link in route:
+            usage[link] = usage.get(link, 0.0) + rate
+    assert all(u <= 1.0 + 1e-9 for u in usage.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    edges=st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60
+    ),
+)
+def test_unionfind_matches_bfs_components(n, edges):
+    edges = [(a % n, b % n) for a, b in edges if a % n != b % n]
+    uf = UnionFind(n)
+    adj = [[] for _ in range(n)]
+    for a, b in edges:
+        uf.union(a, b)
+        adj[a].append(b)
+        adj[b].append(a)
+    comps = connected_components(adj)
+    assert uf.components == len(comps)
+    for comp in comps:
+        assert uf.all_connected(comp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n1=st.integers(min_value=4, max_value=5_000).map(lambda k: 2 * k),
+    levels=st.sampled_from([2, 3, 4]),
+)
+def test_threshold_x_roundtrip(n1, levels):
+    radius = threshold_radix(n1, levels, x=0.0)
+    assert abs(x_for_radix(radius, n1, levels)) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    radix=st.integers(min_value=3, max_value=32).map(lambda k: 2 * k),
+    levels=st.sampled_from([2, 3, 4]),
+)
+def test_max_leaves_respects_threshold(radix, levels):
+    """The returned size is ~at the threshold: x(cap) >= 0 >= x(cap+2)
+    within rounding slack."""
+    cap = rfc_max_leaves(radix, levels)
+    if cap < 4:
+        return
+    x_here = x_for_radix(radix, cap, levels)
+    x_next = x_for_radix(radix, cap + 4, levels)
+    assert x_next < x_here

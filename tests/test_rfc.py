@@ -1,0 +1,134 @@
+"""RFC generator tests."""
+
+import pytest
+
+from repro.core.ancestors import has_updown_routing_of
+from repro.core.rfc import (
+    UpDownNotFound,
+    radix_regular_rfc,
+    random_folded_clos,
+    rfc_level_sizes,
+    rfc_switches,
+    rfc_wires,
+    rfc_with_updown,
+)
+from repro.topologies.base import NetworkError
+
+
+class TestRadixRegularRFC:
+    def test_structure(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=1)
+        assert topo.level_sizes == [16, 16, 8]
+        assert topo.num_terminals == 64
+        assert topo.is_radix_regular()
+        topo.validate()
+
+    def test_deterministic(self):
+        a = radix_regular_rfc(8, 16, 3, rng=4)
+        b = radix_regular_rfc(8, 16, 3, rng=4)
+        assert a.links() == b.links()
+
+    def test_seeds_differ(self):
+        a = radix_regular_rfc(8, 16, 3, rng=4)
+        b = radix_regular_rfc(8, 16, 3, rng=5)
+        assert a.links() != b.links()
+
+    def test_two_levels(self):
+        topo = radix_regular_rfc(8, 16, 2, rng=0)
+        assert topo.level_sizes == [16, 8]
+        assert topo.is_radix_regular()
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(NetworkError):
+            radix_regular_rfc(7, 16, 3)
+
+    def test_rejects_odd_leaves(self):
+        with pytest.raises(NetworkError):
+            radix_regular_rfc(8, 15, 3)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(NetworkError):
+            radix_regular_rfc(8, 16, 1)
+
+    def test_rejects_radix_larger_than_top(self):
+        # R/2 up-links per top-1 switch need N_l >= R/2.
+        with pytest.raises(NetworkError):
+            radix_regular_rfc(16, 8, 3)
+
+    def test_wiring_is_random_but_biregular(self):
+        topo = radix_regular_rfc(12, 24, 3, rng=2)
+        for level in range(2):
+            for s in range(topo.level_sizes[level]):
+                assert topo.up_degree(level, s) == 6
+        for s in range(topo.level_sizes[2]):
+            assert len(topo.down_neighbors(2, s)) == 12
+
+
+class TestGeneralRFC:
+    def test_custom_levels(self):
+        topo = random_folded_clos(
+            [8, 8, 4], up_degrees=[2, 2], hosts_per_leaf=3, rng=0
+        )
+        assert topo.level_sizes == [8, 8, 4]
+        assert topo.hosts_per_leaf == 3
+        assert all(topo.up_degree(0, s) == 2 for s in range(8))
+        assert all(len(topo.down_neighbors(2, s)) == 4 for s in range(4))
+
+    def test_rejects_uneven_split(self):
+        with pytest.raises(NetworkError):
+            random_folded_clos([8, 3], up_degrees=[2], hosts_per_leaf=1)
+
+    def test_rejects_wrong_degree_count(self):
+        with pytest.raises(NetworkError):
+            random_folded_clos([8, 8, 4], up_degrees=[2], hosts_per_leaf=1)
+
+    def test_infers_radix(self):
+        topo = random_folded_clos([8, 4], up_degrees=[2], hosts_per_leaf=2)
+        assert topo.radix == 4  # root: 4 down-links
+
+
+class TestWithUpdown:
+    def test_returns_routable(self):
+        topo, attempts = rfc_with_updown(8, 16, 3, rng=3)
+        assert attempts >= 1
+        assert has_updown_routing_of(topo)
+
+    def test_comfortably_above_threshold_first_try(self):
+        # Radix far above threshold: the very first sample works.
+        _, attempts = rfc_with_updown(12, 16, 3, rng=0)
+        assert attempts == 1
+
+    def test_below_threshold_raises(self):
+        # Radix 4 on 64 leaves, 2 levels: threshold ~ 2*sqrt(64 ln 64)
+        # ~ 33; radix 4 has essentially zero routable probability.
+        with pytest.raises(UpDownNotFound):
+            rfc_with_updown(4, 64, 2, rng=0, max_attempts=5)
+
+    def test_expected_attempts_near_threshold(self):
+        """At the threshold, mean attempts ~ e (paper: 'every three')."""
+        total = 0
+        runs = 15
+        for seed in range(runs):
+            # N1=64, l=2: finite-size transition near radix 24.
+            _, attempts = rfc_with_updown(
+                24, 64, 2, rng=seed, max_attempts=64
+            )
+            total += attempts
+        mean = total / runs
+        assert 1.0 <= mean <= 8.0  # loose band around e
+
+
+class TestAccounting:
+    def test_level_sizes(self):
+        assert rfc_level_sizes(10, 3) == [10, 10, 5]
+        with pytest.raises(NetworkError):
+            rfc_level_sizes(9, 3)
+
+    def test_switch_and_wire_counts_match_instances(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=0)
+        assert rfc_switches(16, 3) == topo.num_switches
+        assert rfc_wires(16, 8, 3) == topo.num_links
+
+    def test_paper_200k_counts(self):
+        assert rfc_switches(11_254, 3) == 28_135
+        assert rfc_wires(11_254, 36, 3) == 405_144

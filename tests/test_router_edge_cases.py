@@ -1,0 +1,89 @@
+"""Edge-case coverage: non-minimal routing, Def-4.1 variants under the
+router, flow-route lengths, metric options."""
+
+import random
+
+import pytest
+
+from repro.core.ancestors import has_updown_routing_of
+from repro.core.rfc import hashnet, random_k_ary_tree
+from repro.graphs.metrics import distance_histogram
+from repro.routing.updown import UpDownRouter
+from repro.simulation.flowlevel import flow_routes
+
+
+class TestNonMinimalPaths:
+    def test_nonminimal_paths_are_valid_updown(self, rfc_medium):
+        router = UpDownRouter.for_topology(rfc_medium)
+        rng = random.Random(3)
+        n1 = rfc_medium.num_leaves
+        longer_seen = False
+        for _ in range(40):
+            a, b = rng.randrange(n1), rng.randrange(n1)
+            path = router.path(a, b, rng=rng, minimal=False)
+            assert path[0] == (0, a) and path[-1] == (0, b)
+            levels = [lvl for lvl, _ in path]
+            apex = levels.index(max(levels))
+            assert levels[: apex + 1] == sorted(levels[: apex + 1])
+            assert levels[apex:] == sorted(levels[apex:], reverse=True)
+            if len(path) - 1 > router.path_length(a, b):
+                longer_seen = True
+        # Non-minimal mode should wander at least occasionally.
+        assert longer_seen or rfc_medium.num_levels == 2
+
+    def test_nonminimal_never_shorter(self, rfc_medium):
+        router = UpDownRouter.for_topology(rfc_medium)
+        rng = random.Random(4)
+        n1 = rfc_medium.num_leaves
+        for _ in range(30):
+            a, b = rng.randrange(n1), rng.randrange(n1)
+            path = router.path(a, b, rng=rng, minimal=False)
+            assert len(path) - 1 >= router.path_length(a, b)
+
+
+class TestVariantRouting:
+    def test_hashnet_routes_when_routable(self):
+        net = hashnet(12, 5, 3, rng=2)
+        if not has_updown_routing_of(net):
+            pytest.skip("sample not routable (small hashnet)")
+        router = UpDownRouter.for_topology(net)
+        for a in range(0, 12, 3):
+            for b in range(0, 12, 5):
+                path = router.path(a, b, rng=1)
+                assert path[0] == (0, a) and path[-1] == (0, b)
+
+    def test_random_kary_routes(self):
+        topo = random_k_ary_tree(4, 2, rng=3)
+        router = UpDownRouter.for_topology(topo)
+        assert router.path_length(0, 3) == 2
+
+
+class TestFlowRouteLengths:
+    def test_route_hop_counts_match_router(self, cft_8_3):
+        router = UpDownRouter.for_topology(cft_8_3)
+        hosts = cft_8_3.hosts_per_leaf
+        pairs = [(0, 5 * hosts), (0, hosts), (3, 3 + hosts)]
+        routes = flow_routes(cft_8_3, pairs, rng=1, router=router)
+        for (src, dst), route in zip(pairs, routes):
+            switch_hops = len(route) - 2  # minus inj/ej entries
+            expected = router.path_length(
+                src // hosts, dst // hosts
+            )
+            assert switch_hops == expected
+
+    def test_injection_and_ejection_present(self, rfc_small):
+        routes = flow_routes(rfc_small, [(0, 30), (1, 2)], rng=2)
+        for route in routes:
+            assert route[0][0] == "inj"
+            assert route[-1][0] == "ej"
+
+
+class TestMetricsOptions:
+    def test_histogram_with_custom_sources(self):
+        adj = [[1], [0, 2], [1]]
+        hist = distance_histogram(adj, sources=[0])
+        assert hist == {1: 1, 2: 1}
+
+    def test_histogram_all_sources_default(self):
+        adj = [[1], [0]]
+        assert distance_histogram(adj) == {1: 2}

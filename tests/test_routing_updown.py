@@ -1,0 +1,144 @@
+"""Up/down ECMP router tests."""
+
+import random
+
+import pytest
+
+from repro.core.ancestors import stages_of
+from repro.routing.updown import RoutingError, UpDownRouter
+
+
+def router_for(topo):
+    return UpDownRouter.for_topology(topo)
+
+
+def assert_updown_shape(path):
+    """A valid up/down path rises monotonically then falls."""
+    levels = [level for level, _ in path]
+    apex = max(levels)
+    apex_at = levels.index(apex)
+    assert levels[: apex_at + 1] == sorted(levels[: apex_at + 1])
+    assert levels[apex_at:] == sorted(levels[apex_at:], reverse=True)
+
+
+class TestPathProperties:
+    def test_paths_are_updown(self, rfc_medium):
+        router = router_for(rfc_medium)
+        rng = random.Random(5)
+        n1 = rfc_medium.num_leaves
+        for _ in range(60):
+            a, b = rng.randrange(n1), rng.randrange(n1)
+            path = router.path(a, b, rng=rng)
+            assert path[0] == (0, a)
+            assert path[-1] == (0, b)
+            assert_updown_shape(path)
+
+    def test_consecutive_hops_are_links(self, rfc_medium):
+        router = router_for(rfc_medium)
+        rng = random.Random(6)
+        path = router.path(0, rfc_medium.num_leaves - 1, rng=rng)
+        for (la, ia), (lb, ib) in zip(path, path[1:]):
+            if lb == la + 1:
+                assert ib in rfc_medium.up_neighbors(la, ia)
+            else:
+                assert lb == la - 1
+                assert ib in rfc_medium.down_neighbors(la, ia)
+
+    def test_minimal_length_matches(self, cft_8_3):
+        router = router_for(cft_8_3)
+        rng = random.Random(7)
+        n1 = cft_8_3.num_leaves
+        for _ in range(40):
+            a, b = rng.randrange(n1), rng.randrange(n1)
+            path = router.path(a, b, rng=rng)
+            assert len(path) - 1 == router.path_length(a, b)
+
+    def test_same_leaf(self, cft_8_3):
+        router = router_for(cft_8_3)
+        assert router.path(3, 3) == [(0, 3)]
+        assert router.path_length(3, 3) == 0
+
+    def test_cft_pod_locality(self, cft_8_3):
+        """In a CFT, same-pod leaves route within the pod (length 2)."""
+        router = router_for(cft_8_3)
+        assert router.path_length(0, 1) == 2
+        assert router.path_length(0, cft_8_3.num_leaves - 1) == 4
+
+
+class TestNextHops:
+    def test_deliver_at_destination(self, cft_8_3):
+        router = router_for(cft_8_3)
+        direction, hops = router.next_hops(0, 5, 5)
+        assert direction == "deliver"
+        assert hops == []
+
+    def test_up_candidates_subset_of_neighbors(self, rfc_medium):
+        router = router_for(rfc_medium)
+        direction, hops = router.next_hops(0, 0, rfc_medium.num_leaves - 1)
+        assert direction == "up"
+        assert set(hops) <= set(rfc_medium.up_neighbors(0, 0))
+        assert hops
+
+    def test_nonminimal_superset(self, rfc_medium):
+        router = router_for(rfc_medium)
+        b = rfc_medium.num_leaves - 1
+        _, minimal = router.next_hops(0, 0, b, minimal=True)
+        _, any_valid = router.next_hops(0, 0, b, minimal=False)
+        assert set(minimal) <= set(any_valid)
+
+    def test_cft_all_ups_minimal_cross_pod(self, cft_8_3):
+        """CFT symmetry: every up-port lies on a shortest route."""
+        router = router_for(cft_8_3)
+        b = cft_8_3.num_leaves - 1
+        _, hops = router.next_hops(0, 0, b)
+        assert set(hops) == set(cft_8_3.up_neighbors(0, 0))
+
+
+class TestEcmpWidth:
+    def test_cft_cross_pod_width(self, cft_4_3):
+        """CFT(4,3): cross-pod pairs have Delta^(l-1) = 4 routes."""
+        router = router_for(cft_4_3)
+        assert router.ecmp_width(0, cft_4_3.num_leaves - 1) == 4
+
+    def test_same_pod_width(self, cft_4_3):
+        assert router_for(cft_4_3).ecmp_width(0, 1) == 2
+
+    def test_identity(self, cft_4_3):
+        assert router_for(cft_4_3).ecmp_width(2, 2) == 1
+
+
+class TestFaultyRouting:
+    def test_pruned_stage_dead_pair(self, rfc_small):
+        """Cutting all of a leaf's up-links isolates it."""
+        stages = [
+            [list(row) for row in stage] for stage in stages_of(rfc_small)
+        ]
+        stages[0][0] = []
+        router = UpDownRouter(rfc_small.level_sizes, stages)
+        assert not router.reachable(0, 5)
+        assert router.reachable(1, 5)
+        with pytest.raises(RoutingError):
+            router.path(0, 5, rng=1)
+
+    def test_min_ascent_reports_negative(self, rfc_small):
+        stages = [
+            [list(row) for row in stage] for stage in stages_of(rfc_small)
+        ]
+        stages[0][0] = []
+        router = UpDownRouter(rfc_small.level_sizes, stages)
+        assert router.min_ascent(0, 0, 5) == -1
+
+
+class TestConstruction:
+    def test_stage_count_validation(self, rfc_small):
+        with pytest.raises(ValueError):
+            UpDownRouter(rfc_small.level_sizes, [])
+
+    def test_descendants_of_roots_cover_all(self, rfc_medium):
+        router = router_for(rfc_medium)
+        top = rfc_medium.num_levels - 1
+        full = (1 << rfc_medium.num_leaves) - 1
+        union = 0
+        for s in range(rfc_medium.level_sizes[top]):
+            union |= router.descendants(top, s)
+        assert union == full

@@ -1,0 +1,57 @@
+"""Random regular network (Jellyfish baseline) tests."""
+
+from repro.graphs.metrics import diameter
+from repro.topologies.rrn import (
+    random_regular_network,
+    rrn_balanced_hosts,
+    rrn_degree_for,
+    rrn_switches_for_diameter,
+    rrn_terminals,
+)
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = random_regular_network(20, 5, 3, rng=1)
+        assert net.num_switches == 20
+        assert net.num_terminals == 60
+        assert net.is_regular()
+        assert net.radix == 8
+
+    def test_deterministic(self):
+        a = random_regular_network(16, 4, 2, rng=5)
+        b = random_regular_network(16, 4, 2, rng=5)
+        assert a.adjacency() == b.adjacency()
+
+    def test_diameter_matches_rule_of_thumb(self):
+        # delta^D ~ 2 N ln N: for N=16 switches of degree 4, D should
+        # be around log_4(2*16*ln 16) ~ 3.2 -> diameter 3-4.
+        net = random_regular_network(16, 4, 2, rng=3)
+        assert 2 <= diameter(net.adjacency()) <= 4
+
+
+class TestSizing:
+    def test_switches_for_diameter_monotone_in_degree(self):
+        previous = 0
+        for degree in (4, 8, 16, 26):
+            n = rrn_switches_for_diameter(degree, 4)
+            assert n > previous
+            previous = n
+
+    def test_paper_example(self):
+        # Section 4.2: degree 26, diameter 4 admits ~22,773 switches.
+        n = rrn_switches_for_diameter(26, 4)
+        assert 20_000 <= n <= 26_000
+
+    def test_balanced_hosts(self):
+        # Paper rule: delta / D hosts per switch.
+        assert rrn_balanced_hosts(26, 4) in (6, 7)
+        assert rrn_balanced_hosts(4, 4) == 1
+
+    def test_degree_for_radix_split(self):
+        degree, hosts = rrn_degree_for(36, 4)
+        assert degree + hosts <= 36
+        assert degree > hosts >= 1
+
+    def test_terminals_positive(self):
+        assert rrn_terminals(8, 4) > 0

@@ -1,0 +1,65 @@
+"""Scenario harness parameter handling + expansion property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expansion import expand_rfc
+from repro.core.rfc import rfc_with_updown
+from repro.experiments.scenario_sim import run_scenario
+from repro.simulation.config import SimulationParams
+
+
+class TestRunScenarioParams:
+    def test_params_override(self):
+        params = SimulationParams(
+            measure_cycles=300, warmup_cycles=100, seed=5
+        )
+        table = run_scenario(
+            "equal-resources-11k",
+            quick=True,
+            seed=5,
+            loads=[0.3],
+            traffics=("uniform",),
+            params=params,
+        )
+        assert len(table.rows) == 1
+
+    def test_traffics_subset(self):
+        table = run_scenario(
+            "equal-resources-11k",
+            quick=True,
+            loads=[0.3],
+            traffics=("fixed-random",),
+            params=SimulationParams(measure_cycles=300, warmup_cycles=100),
+        )
+        assert all(row[0] == "fixed-random" for row in table.rows)
+
+
+class TestExpansionProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        steps=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_expansion_invariants(self, steps, seed):
+        topo, _ = rfc_with_updown(8, 20, 3, rng=seed)
+        expanded, report = expand_rfc(topo, steps=steps, rng=seed + 1)
+        # Structural invariants hold for any number of steps.
+        assert expanded.is_radix_regular()
+        expanded.validate()
+        assert expanded.num_leaves == 20 + 2 * steps
+        assert report.terminals_added == 8 * steps
+        assert expanded.num_links == (
+            expanded.num_leaves * 4 * (expanded.num_levels - 1)
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_expansion_preserves_old_terminals(self, seed):
+        """Old terminals keep their leaf assignment across expansion."""
+        topo, _ = rfc_with_updown(8, 20, 3, rng=seed)
+        expanded, _ = expand_rfc(topo, steps=2, rng=seed + 1)
+        for terminal in range(topo.num_terminals):
+            assert expanded.terminal_switch(terminal) == (
+                topo.terminal_switch(terminal)
+            )

@@ -1,0 +1,121 @@
+"""Spectral expander analysis tests."""
+
+import math
+
+import pytest
+
+from repro.graphs.spectral import (
+    adjacency_eigenvalues,
+    adjacency_spectrum_gap,
+    algebraic_connectivity,
+    cheeger_bounds,
+)
+
+
+def complete_graph(n):
+    return [[v for v in range(n) if v != u] for u in range(n)]
+
+
+def cycle_graph(n):
+    return [[(u - 1) % n, (u + 1) % n] for u in range(n)]
+
+
+def two_triangles():
+    return [[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]]
+
+
+class TestEigenvalues:
+    def test_complete_graph_spectrum(self):
+        # K_n: lambda_1 = n-1, lambda_2 = -1.
+        top = adjacency_eigenvalues(complete_graph(5), k=2)
+        assert top[0] == pytest.approx(4.0)
+        assert top[1] == pytest.approx(-1.0)
+
+    def test_cycle_spectrum(self):
+        # C_n: lambda_1 = 2, lambda_2 = 2 cos(2 pi / n).
+        top = adjacency_eigenvalues(cycle_graph(8), k=2)
+        assert top[0] == pytest.approx(2.0)
+        assert top[1] == pytest.approx(2 * math.cos(2 * math.pi / 8))
+
+    def test_empty(self):
+        assert adjacency_eigenvalues([]) == []
+
+
+class TestSpectrumGap:
+    def test_complete_graph_best(self):
+        assert adjacency_spectrum_gap(complete_graph(6)) == pytest.approx(
+            (5 - (-1)) / 5
+        )
+
+    def test_disconnected_zero_gap(self):
+        # lambda_1 = lambda_2 for two identical components.
+        assert adjacency_spectrum_gap(two_triangles()) == pytest.approx(0.0)
+
+    def test_long_cycle_poor_expander(self):
+        assert adjacency_spectrum_gap(cycle_graph(40)) < 0.05
+
+    def test_rfc_is_better_expander_than_cft(self, cft_8_3, rfc_medium):
+        """Random wiring widens the spectral gap (expander lineage)."""
+        assert adjacency_spectrum_gap(rfc_medium.adjacency()) > (
+            adjacency_spectrum_gap(cft_8_3.adjacency())
+        )
+
+
+class TestFiedler:
+    def test_disconnected_zero(self):
+        assert algebraic_connectivity(two_triangles()) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_complete_graph(self):
+        # K_n Laplacian spectrum: 0, n, n, ..., n.
+        assert algebraic_connectivity(complete_graph(5)) == pytest.approx(5.0)
+
+    def test_path_small(self):
+        adj = [[1], [0, 2], [1]]
+        assert algebraic_connectivity(adj) == pytest.approx(1.0)
+
+    def test_trivial(self):
+        assert algebraic_connectivity([[]]) == 0.0
+
+
+class TestCheeger:
+    def test_sandwich_order(self, rfc_medium):
+        lower, upper = cheeger_bounds(rfc_medium.adjacency())
+        assert 0 < lower <= upper
+
+    def test_disconnected(self):
+        lower, upper = cheeger_bounds(two_triangles())
+        assert lower == pytest.approx(0.0, abs=1e-9)
+
+    def test_bisection_respects_cheeger_lower(self, rfc_medium):
+        """h(G) >= fiedler/2 -> bisection >= (n/2) * h lower bound is
+        consistent with the local-search estimate."""
+        from repro.graphs.bisection import estimate_bisection_width
+
+        lower, _ = cheeger_bounds(rfc_medium.adjacency())
+        n = rfc_medium.num_switches
+        estimate = estimate_bisection_width(rfc_medium.adjacency(), rng=1)
+        assert estimate >= lower * (n // 2) * 0.99
+
+
+class TestSec42Experiment:
+    def test_runs_and_matches_paper_analytics(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("sec42", quick=True, seed=0)
+        analytic = {
+            row[0]: row[2] for row in table.rows if row[2] is not None
+        }
+        assert analytic["CFT R=36 (any l)"] == 1.0
+        assert analytic["RRN R=36"] == pytest.approx(0.88, abs=0.01)
+        assert analytic["RFC R=36 l=2"] == pytest.approx(0.80, abs=0.01)
+        assert analytic["RFC R=36 l=3"] == pytest.approx(0.86, abs=0.01)
+
+    def test_empirical_rows_have_gaps(self):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("sec42", quick=True, seed=0)
+        gaps = [row[4] for row in table.rows if row[4] is not None]
+        assert len(gaps) == 3
+        assert all(g > 0.05 for g in gaps)

@@ -1,0 +1,53 @@
+"""Statistics collection tests."""
+
+import math
+
+from repro.simulation.packet import Packet
+from repro.simulation.stats import SimResult, SimStats
+
+
+class TestSimStats:
+    def test_measurement_window(self):
+        stats = SimStats(warmup=100, horizon=200)
+        early = Packet(0, 1, created=10)
+        stats.on_delivered(early, 50, packet_phits=16)  # before warmup
+        in_window = Packet(0, 1, created=120)
+        in_window.hops = 3
+        stats.on_delivered(in_window, 150, packet_phits=16)
+        late = Packet(0, 1, created=190)
+        stats.on_delivered(late, 250, packet_phits=16)  # after horizon
+        assert stats.delivered_packets == 3
+        assert stats.measured_packets == 1
+        assert stats.measured_phits == 16
+        assert stats.measured_latency_sum == 30
+        assert stats.measured_hops_sum == 3
+        assert stats.max_latency == 30
+
+
+class TestSimResult:
+    def test_from_stats(self):
+        stats = SimStats(warmup=0, horizon=100)
+        stats.generated_packets = 10
+        for created in range(0, 50, 10):
+            packet = Packet(0, 1, created)
+            packet.hops = 2
+            stats.on_delivered(packet, created + 20, packet_phits=16)
+        result = SimResult.from_stats(
+            stats, offered_load=0.5, num_terminals=8,
+            traffic="uniform", topology="test",
+        )
+        assert result.measured_packets == 5
+        assert result.accepted_load == 5 * 16 / (8 * 100)
+        assert result.avg_latency == 20
+        assert result.avg_hops == 2
+
+    def test_empty_run_gives_nan(self):
+        stats = SimStats(warmup=0, horizon=10)
+        result = SimResult.from_stats(stats, 0.1, 4, "uniform", "t")
+        assert math.isnan(result.avg_latency)
+        assert result.accepted_load == 0.0
+
+    def test_row_renders(self):
+        stats = SimStats(warmup=0, horizon=10)
+        result = SimResult.from_stats(stats, 0.1, 4, "uniform", "t")
+        assert "uniform" in result.row()

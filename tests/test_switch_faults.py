@@ -1,0 +1,65 @@
+"""Correlated (whole-switch) failure tests."""
+
+import pytest
+
+from repro.faults.switches import (
+    links_of_switches,
+    switch_failure_order,
+    updown_switch_tolerance,
+    updown_switch_trial,
+)
+
+
+class TestLinksOfSwitches:
+    def test_collects_incident_links(self, cft_4_3):
+        root = cft_4_3.switch_id(2, 0)
+        links = links_of_switches(cft_4_3, {root})
+        assert len(links) == 4  # radix-4 root: 4 down-links
+        assert all(root in (l.lo, l.hi) for l in links)
+
+    def test_union_of_switches(self, cft_4_3):
+        a = cft_4_3.switch_id(2, 0)
+        b = cft_4_3.switch_id(2, 1)
+        links = links_of_switches(cft_4_3, {a, b})
+        assert len(links) == 8
+
+
+class TestFailureOrder:
+    def test_spares_leaves_by_default(self, cft_4_3):
+        order = switch_failure_order(cft_4_3, rng=1)
+        assert len(order) == cft_4_3.num_switches - cft_4_3.num_leaves
+        assert min(order) >= cft_4_3.num_leaves
+
+    def test_full_order_on_request(self, cft_4_3):
+        order = switch_failure_order(cft_4_3, rng=1, spare_leaves=False)
+        assert sorted(order) == list(range(cft_4_3.num_switches))
+
+    def test_direct_networks_fail_everything(self, rrn_16):
+        order = switch_failure_order(rrn_16, rng=2)
+        assert sorted(order) == list(range(16))
+
+
+class TestSwitchTolerance:
+    def test_rfc_tolerates_some_fabric_loss(self, rfc_medium):
+        result = updown_switch_tolerance(rfc_medium, trials=5, rng=3)
+        assert result.mean_fraction > 0.0
+        assert result.fabric_switches == (
+            rfc_medium.num_switches - rfc_medium.num_leaves
+        )
+
+    def test_oft2_zero(self, oft_q2_l2):
+        for seed in range(3):
+            assert updown_switch_trial(oft_q2_l2, rng=seed) == 0
+
+    def test_switch_faults_harsher_than_links(self, rfc_medium):
+        """A switch takes its whole port bundle down, so the tolerated
+        *fraction of elements* is lower than for independent links."""
+        from repro.faults.updown_survival import updown_fault_tolerance
+
+        links = updown_fault_tolerance(rfc_medium, trials=5, rng=4)
+        switches = updown_switch_tolerance(rfc_medium, trials=5, rng=4)
+        assert switches.mean_fraction <= links.mean_fraction + 0.05
+
+    def test_rejects_zero_trials(self, rfc_medium):
+        with pytest.raises(ValueError):
+            updown_switch_tolerance(rfc_medium, trials=0)

@@ -1,0 +1,67 @@
+"""Table/report rendering edge cases."""
+
+import math
+
+from repro.experiments.common import Table, format_cell
+
+
+class TestEmptyAndEdgeTables:
+    def test_render_empty_table(self):
+        table = Table("empty", ["a", "b"])
+        text = table.render()
+        assert "empty" in text
+        assert "a" in text and "b" in text
+
+    def test_csv_empty(self):
+        table = Table("empty", ["a", "b"])
+        assert table.to_csv().startswith("a,b")
+
+    def test_csv_none_cells_blank(self):
+        table = Table("t", ["a", "b"])
+        table.add(1, None)
+        assert "1," in table.to_csv()
+
+    def test_render_wide_numbers_align(self):
+        table = Table("t", ["n"])
+        table.add(1)
+        table.add(1_000_000)
+        lines = table.render().splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatCell:
+    def test_large_float_groups_digits(self):
+        assert format_cell(1234.5) == "1,235" or "," in format_cell(1234.5)
+
+    def test_small_float_trims_zeros(self):
+        assert format_cell(0.25) == "0.25"
+        assert format_cell(2.0) == "2"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_bool_before_int(self):
+        # bool is an int subclass; must render as yes/no, not 1/0.
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_cell("CFT") == "CFT"
+
+
+class TestSimResultRow:
+    def test_row_contains_metrics(self):
+        from repro.simulation.stats import SimResult, SimStats
+
+        stats = SimStats(warmup=0, horizon=100)
+        result = SimResult.from_stats(stats, 0.5, 16, "uniform", "net")
+        row = result.row()
+        assert "net" in row and "uniform" in row and "0.50" in row
+
+    def test_nan_latency_rendered(self):
+        from repro.simulation.stats import SimResult, SimStats
+
+        stats = SimStats(warmup=0, horizon=100)
+        result = SimResult.from_stats(stats, 0.5, 16, "uniform", "net")
+        assert math.isnan(result.avg_latency)
+        assert "nan" in result.row().lower()

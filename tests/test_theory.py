@@ -1,0 +1,149 @@
+"""Theorem 4.2 / Section 4 closed-form tests."""
+
+import math
+
+import pytest
+
+from repro.core.theory import (
+    binom2,
+    cft_diameter,
+    expected_attempts,
+    oft_diameter,
+    rfc_diameter,
+    rfc_max_leaves,
+    rfc_max_terminals,
+    rrn_diameter,
+    rrn_max_terminals,
+    scalability_point,
+    threshold_radix,
+    threshold_radix_simplified,
+    updown_probability,
+    x_for_radix,
+)
+
+
+class TestThreshold:
+    def test_paper_radix36_sizes(self):
+        """Section 4.2: R=36, D=4 -> N1 slightly above 11,254."""
+        assert rfc_max_leaves(36, 3) == 11_254
+        assert rfc_max_terminals(36, 3) == 202_572
+
+    def test_probability_limits(self):
+        assert updown_probability(0.0) == pytest.approx(1 / math.e)
+        assert updown_probability(10.0) == pytest.approx(1.0, abs=1e-4)
+        assert updown_probability(-10.0) == pytest.approx(0.0, abs=1e-4)
+
+    def test_probability_monotone(self):
+        xs = [-3, -1, 0, 1, 3]
+        ps = [updown_probability(x) for x in xs]
+        assert ps == sorted(ps)
+
+    def test_x_inverts_threshold(self):
+        for n1, levels in ((128, 2), (500, 3), (2_000, 3)):
+            for x in (-1.0, 0.0, 2.0):
+                radius = threshold_radix(n1, levels, x)
+                assert x_for_radix(radius, n1, levels) == pytest.approx(x)
+
+    def test_simplified_close_to_exact(self):
+        # N_l ln C(N1,2) ~ N1 ln N1; the two thresholds should agree
+        # within a few percent at scale.
+        for n1 in (1_000, 10_000):
+            exact = threshold_radix(n1, 3)
+            simple = threshold_radix_simplified(n1, 3)
+            assert abs(exact - simple) / exact < 0.05
+
+    def test_threshold_decreases_with_levels(self):
+        values = [threshold_radix(10_000, l) for l in (2, 3, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            threshold_radix(128, 1)
+        with pytest.raises(ValueError):
+            threshold_radix(1, 2)
+
+    def test_expected_attempts_at_threshold(self):
+        assert expected_attempts(0.0) == pytest.approx(math.e)
+
+    def test_binom2(self):
+        assert binom2(5) == 10
+        assert binom2(2) == 1
+
+
+class TestMaxSizes:
+    def test_max_leaves_even(self):
+        for radix in (8, 12, 36):
+            for levels in (2, 3):
+                assert rfc_max_leaves(radix, levels) % 2 == 0
+
+    def test_max_terminals_grows_with_radix(self):
+        values = [rfc_max_terminals(r, 3) for r in (8, 16, 24, 36)]
+        assert values == sorted(values)
+
+    def test_max_terminals_grows_with_levels(self):
+        values = [rfc_max_terminals(16, l) for l in (2, 3, 4)]
+        assert values == sorted(values)
+
+
+class TestDiameters:
+    def test_paper_figure5_ordering(self):
+        """At radix 36 the ordering is OFT <= RFC ~ RRN <= CFT."""
+        for terminals in (10_000, 100_000, 1_000_000):
+            d_oft = oft_diameter(36, terminals)
+            d_rfc = rfc_diameter(36, terminals)
+            d_rrn = rrn_diameter(36, terminals)
+            d_cft = cft_diameter(36, terminals)
+            assert d_oft <= d_rfc <= d_cft
+            assert abs(d_rfc - d_rrn) <= 2
+
+    def test_rfc_diameters_even(self):
+        for terminals in (100, 10_000, 1_000_000):
+            assert rfc_diameter(36, terminals) % 2 == 0
+
+    def test_rfc_capacity_roundtrip(self):
+        cap3 = rfc_max_terminals(36, 3)
+        assert rfc_diameter(36, cap3) == 4
+        assert rfc_diameter(36, cap3 * (36 // 2) + 36) == 6
+
+    def test_monotone_in_terminals(self):
+        previous = 0
+        for terminals in (100, 1_000, 10_000, 100_000, 1_000_000):
+            d = rfc_diameter(36, terminals)
+            assert d >= previous
+            previous = d
+
+
+class TestScalabilityPoints:
+    def test_known_values(self):
+        assert scalability_point("cft", 36, 3) == 11_664
+        assert scalability_point("rfc", 36, 3) == 202_572
+        # OFT at radix 36 -> order 17: T = 2*18*307^2.
+        assert scalability_point("oft", 36, 3) == 2 * 18 * 307**2
+
+    def test_oft_beats_next_level_cft(self):
+        """Paper: the l-level OFT scales at least like the (l+1)-CFT."""
+        for radix in (16, 24, 36):
+            for levels in (2, 3):
+                assert scalability_point("oft", radix, levels) >= (
+                    scalability_point("cft", radix, levels + 1) * 0.85
+                )
+
+    def test_rfc_between_cft_and_oft(self):
+        for radix in (16, 36):
+            for levels in (2, 3):
+                cft = scalability_point("cft", radix, levels)
+                rfc = scalability_point("rfc", radix, levels)
+                oft = scalability_point("oft", radix, levels)
+                assert cft <= rfc <= oft or levels == 2
+
+    def test_rrn_close_to_rfc(self):
+        rfc = scalability_point("rfc", 36, 3)
+        rrn = scalability_point("rrn", 36, 3)
+        assert 0.5 < rrn / rfc < 2.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            scalability_point("torus", 36, 3)
+
+    def test_rrn_max_terminals(self):
+        assert rrn_max_terminals(36, 4) > rrn_max_terminals(36, 3)

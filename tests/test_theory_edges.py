@@ -1,0 +1,57 @@
+"""Degenerate-size behaviour of the closed-form sizing functions."""
+
+import pytest
+
+from repro.core.theory import (
+    cft_diameter,
+    oft_diameter,
+    rfc_diameter,
+    rfc_max_leaves,
+    rrn_diameter,
+)
+from repro.topologies.rrn import rrn_switches_for_diameter
+
+
+class TestTinyTargets:
+    def test_single_switch_cft(self):
+        # Up to R terminals fit on one switch: diameter 0.
+        assert cft_diameter(36, 30) == 0
+
+    def test_tiny_rfc_uses_two_levels(self):
+        assert rfc_diameter(36, 30) == 2
+
+    def test_oft_min_two_levels(self):
+        assert oft_diameter(36, 30) == 2
+
+    def test_rrn_diameter_one_for_tiny(self):
+        assert rrn_diameter(36, 20) in (1, 2)
+
+
+class TestInfeasibleTargets:
+    def test_rfc_raises_beyond_reach(self):
+        with pytest.raises(ValueError):
+            rfc_diameter(4, 10**30)
+
+    def test_cft_raises_beyond_reach(self):
+        with pytest.raises(ValueError):
+            cft_diameter(4, 10**30)
+
+
+class TestMaxLeavesEdges:
+    def test_tiny_radix_returns_small_or_zero(self):
+        assert rfc_max_leaves(4, 2) >= 0
+
+    def test_growth_is_superlinear_in_radix(self):
+        a = rfc_max_leaves(12, 3)
+        b = rfc_max_leaves(24, 3)
+        assert b > 4 * a  # Delta^4 scaling
+
+
+class TestRrnSizing:
+    def test_small_degree_floor(self):
+        assert rrn_switches_for_diameter(2, 4) == 3
+
+    def test_large_diameter_caps(self):
+        # Guarded against overflow: returns a finite bound.
+        n = rrn_switches_for_diameter(16, 12)
+        assert n > 10**6

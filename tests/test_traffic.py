@@ -1,0 +1,102 @@
+"""Traffic pattern tests."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.simulation.traffic import (
+    FixedRandomTraffic,
+    RandomPairingTraffic,
+    TRAFFIC_NAMES,
+    UniformTraffic,
+    make_traffic,
+)
+
+
+class TestUniform:
+    def test_never_self(self, rng):
+        traffic = UniformTraffic(10)
+        for src in range(10):
+            for _ in range(50):
+                assert traffic.destination(src, rng) != src
+
+    def test_covers_all_destinations(self, rng):
+        traffic = UniformTraffic(6)
+        seen = {traffic.destination(0, rng) for _ in range(500)}
+        assert seen == {1, 2, 3, 4, 5}
+
+    def test_roughly_uniform(self, rng):
+        traffic = UniformTraffic(5)
+        counts = Counter(traffic.destination(2, rng) for _ in range(4000))
+        for dest, count in counts.items():
+            assert 800 < count < 1200
+
+
+class TestRandomPairing:
+    def test_is_involution(self):
+        traffic = RandomPairingTraffic(16, rng=3)
+        rng = random.Random(0)
+        for src in range(16):
+            partner = traffic.destination(src, rng)
+            assert partner != src
+            assert traffic.destination(partner, rng) == src
+
+    def test_odd_count_leaves_one_silent(self):
+        traffic = RandomPairingTraffic(7, rng=3)
+        silent = [s for s in range(7) if traffic.is_silent(s)]
+        assert len(silent) == 1
+        with pytest.raises(LookupError):
+            traffic.destination(silent[0], random.Random(0))
+
+    def test_deterministic_by_seed(self):
+        a = RandomPairingTraffic(20, rng=9)
+        b = RandomPairingTraffic(20, rng=9)
+        assert a.partner == b.partner
+
+    def test_destination_is_fixed(self):
+        traffic = RandomPairingTraffic(8, rng=1)
+        rng = random.Random(5)
+        dests = {traffic.destination(3, rng) for _ in range(20)}
+        assert len(dests) == 1
+
+
+class TestFixedRandom:
+    def test_fixed_per_source(self):
+        traffic = FixedRandomTraffic(12, rng=2)
+        rng = random.Random(7)
+        for src in range(12):
+            dests = {traffic.destination(src, rng) for _ in range(10)}
+            assert len(dests) == 1
+            assert src not in dests
+
+    def test_can_create_hotspots(self):
+        # Unlike pairing, several sources may share a destination;
+        # check it happens for some seed (birthday bound says almost
+        # surely at n=30).
+        traffic = FixedRandomTraffic(30, rng=4)
+        counts = Counter(traffic.target)
+        assert max(counts.values()) >= 2
+
+    def test_deterministic(self):
+        assert FixedRandomTraffic(10, rng=8).target == (
+            FixedRandomTraffic(10, rng=8).target
+        )
+
+
+class TestFactory:
+    def test_names(self):
+        for name in TRAFFIC_NAMES:
+            traffic = make_traffic(name, 8, rng=0)
+            assert traffic.name == name
+
+    def test_underscore_alias(self):
+        assert make_traffic("random_pairing", 8, rng=0).name == "random-pairing"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_traffic("tornado", 8)
+
+    def test_rejects_single_terminal(self):
+        with pytest.raises(ValueError):
+            UniformTraffic(1)

@@ -1,0 +1,85 @@
+"""Statistical quality of the random generators.
+
+The Steger-Wormald construction is supposed to be asymptotically
+uniform over simple (bi)regular graphs.  These tests check observable
+consequences with chi-square goodness-of-fit: across many independent
+samples, every potential edge should appear with (nearly) the same
+frequency, and the traffic patterns should be unbiased.
+"""
+
+import random
+from collections import Counter
+
+from scipy import stats as scipy_stats
+
+from repro.simulation.traffic import RandomPairingTraffic, UniformTraffic
+from repro.topologies.random_graphs import (
+    random_bipartite_graph,
+    random_regular_graph,
+)
+
+ALPHA = 1e-4  # very loose: we only want to catch gross bias
+
+
+class TestEdgeFrequencyUniformity:
+    def test_bipartite_edges_equally_likely(self):
+        n1, d1, n2, d2 = 8, 3, 8, 3
+        samples = 400
+        counts = Counter()
+        rng = random.Random(0)
+        for _ in range(samples):
+            adj1, _ = random_bipartite_graph(n1, d1, n2, d2, rng=rng)
+            for u, row in enumerate(adj1):
+                for v in row:
+                    counts[(u, v)] += 1
+        observed = [counts.get((u, v), 0) for u in range(n1) for v in range(n2)]
+        # Each of the 64 potential edges appears with expectation
+        # samples * d1 / n2 = 150.
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA
+
+    def test_regular_edges_equally_likely(self):
+        n, d = 10, 3
+        samples = 400
+        counts = Counter()
+        rng = random.Random(1)
+        for _ in range(samples):
+            adj = random_regular_graph(n, d, rng=rng)
+            for u, row in enumerate(adj):
+                for v in row:
+                    if u < v:
+                        counts[(u, v)] += 1
+        observed = [
+            counts.get((u, v), 0) for u in range(n) for v in range(u + 1, n)
+        ]
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA
+
+    def test_vertex_degrees_always_exact(self):
+        # Uniformity aside, degrees are a hard invariant.
+        rng = random.Random(2)
+        for _ in range(50):
+            adj = random_regular_graph(12, 4, rng=rng)
+            assert all(len(row) == 4 for row in adj)
+
+
+class TestTrafficUniformity:
+    def test_uniform_traffic_chisquare(self):
+        traffic = UniformTraffic(8)
+        rng = random.Random(3)
+        counts = Counter(traffic.destination(2, rng) for _ in range(7_000))
+        observed = [counts.get(d, 0) for d in range(8) if d != 2]
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA
+
+    def test_pairings_cover_partners_uniformly(self):
+        # Terminal 0's partner across many pattern instances should be
+        # uniform over the other terminals.
+        n = 6
+        counts = Counter()
+        for seed in range(900):
+            pattern = RandomPairingTraffic(n, rng=seed)
+            counts[pattern.partner[0]] += 1
+        observed = [counts.get(d, 0) for d in range(1, n)]
+        _, p_value = scipy_stats.chisquare(observed)
+        assert p_value > ALPHA

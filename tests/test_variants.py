@@ -1,0 +1,123 @@
+"""Tests for Definition 4.1 variants (random k-ary trees, Hashnet),
+latency percentiles and replicated runs."""
+
+import math
+
+import pytest
+
+from repro.core.ancestors import has_updown_routing_of
+from repro.core.rfc import hashnet, random_k_ary_tree
+from repro.simulation.config import SimulationParams
+from repro.simulation.packet import Packet
+from repro.simulation.replication import replicated_point
+from repro.simulation.stats import SimStats
+from repro.topologies.base import NetworkError
+
+FAST = SimulationParams(measure_cycles=400, warmup_cycles=150, seed=0)
+
+
+class TestRandomKAryTree:
+    def test_structure_matches_deterministic(self):
+        from repro.topologies.fattree import k_ary_l_tree
+
+        deterministic = k_ary_l_tree(3, 3)
+        randomized = random_k_ary_tree(3, 3, rng=1)
+        assert randomized.level_sizes == deterministic.level_sizes
+        assert randomized.num_terminals == deterministic.num_terminals
+        assert randomized.num_links == deterministic.num_links
+
+    def test_random_wiring_differs_by_seed(self):
+        a = random_k_ary_tree(3, 3, rng=1)
+        b = random_k_ary_tree(3, 3, rng=2)
+        assert a.links() != b.links()
+
+    def test_large_k_usually_routable(self):
+        # k=4, 2 levels: 4 leaves, each wired to all 4 top switches
+        # would be complete; random wiring with k=4 up-links over 4
+        # tops IS complete -> always routable.
+        topo = random_k_ary_tree(4, 2, rng=3)
+        assert has_updown_routing_of(topo)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(NetworkError):
+            random_k_ary_tree(1, 3)
+        with pytest.raises(NetworkError):
+            random_k_ary_tree(3, 1)
+
+
+class TestHashnet:
+    def test_level_structure(self):
+        net = hashnet(10, 4, 3, rng=1)
+        assert net.level_sizes == [10, 10, 10]
+        assert net.hosts_per_leaf == 4
+        assert net.num_terminals == 40
+        # Every switch: 4 up + 4 down (terminals at leaves).
+        for level in range(2):
+            for s in range(10):
+                assert net.up_degree(level, s) == 4
+
+    def test_roots_have_degree_d(self):
+        net = hashnet(8, 3, 2, rng=2)
+        for s in range(8):
+            assert len(net.down_neighbors(1, s)) == 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(NetworkError):
+            hashnet(1, 1, 2)
+        with pytest.raises(NetworkError):
+            hashnet(4, 5, 2)
+        with pytest.raises(NetworkError):
+            hashnet(4, 2, 1)
+
+
+class TestLatencyPercentiles:
+    def test_percentile_math(self):
+        stats = SimStats(warmup=0, horizon=1000)
+        for latency in (10, 20, 30, 40, 100):
+            packet = Packet(0, 1, created=0)
+            stats.on_delivered(packet, latency, packet_phits=16)
+        assert stats.latency_percentile(0.0) == 10
+        assert stats.latency_percentile(0.5) == 30
+        assert stats.latency_percentile(1.0) == 100
+
+    def test_empty_is_nan(self):
+        stats = SimStats(warmup=0, horizon=10)
+        assert math.isnan(stats.latency_percentile(0.5))
+
+    def test_rejects_out_of_range(self):
+        stats = SimStats(warmup=0, horizon=10)
+        with pytest.raises(ValueError):
+            stats.latency_percentile(1.5)
+
+    def test_simresult_carries_percentiles(self, cft_8_3):
+        from repro.simulation.engine import simulate
+        from repro.simulation.traffic import make_traffic
+
+        traffic = make_traffic("uniform", cft_8_3.num_terminals, rng=1)
+        result = simulate(cft_8_3, traffic, 0.4, FAST)
+        assert result.p50_latency <= result.p99_latency <= result.max_latency
+        assert result.p50_latency <= result.avg_latency * 1.5
+
+
+class TestReplication:
+    def test_aggregates(self, cft_8_3):
+        agg = replicated_point(cft_8_3, "uniform", 0.3, FAST, replications=3)
+        assert agg.replications == 3
+        assert len(agg.results) == 3
+        assert agg.accepted_mean == pytest.approx(0.3, abs=0.06)
+        assert agg.accepted_stdev >= 0.0
+        assert "load" in agg.row()
+
+    def test_replications_differ(self, cft_8_3):
+        agg = replicated_point(cft_8_3, "uniform", 0.5, FAST, replications=3)
+        accepted = [r.accepted_load for r in agg.results]
+        assert len(set(accepted)) > 1
+
+    def test_deterministic_aggregate(self, cft_8_3):
+        a = replicated_point(cft_8_3, "uniform", 0.3, FAST, replications=2)
+        b = replicated_point(cft_8_3, "uniform", 0.3, FAST, replications=2)
+        assert a.accepted_mean == b.accepted_mean
+
+    def test_rejects_zero(self, cft_8_3):
+        with pytest.raises(ValueError):
+            replicated_point(cft_8_3, "uniform", 0.3, FAST, replications=0)
