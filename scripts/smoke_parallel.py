@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the parallel executor + result cache.
+
+Runs the Figure 8 quick sweep twice through one executor (2 workers,
+fresh temp cache):
+
+* run 1 (cold): every point simulated, fanned across the pool;
+* run 2 (warm): every point replayed from the cache, zero simulations;
+* both tables must be identical.
+
+Exit code 0 on success.  Usage::
+
+    PYTHONPATH=src python scripts/smoke_parallel.py [--workers N]
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.exec import build_executor
+from repro.experiments.fig8_scenario1 import run
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        ex = build_executor(workers=args.workers, cache_dir=cache_dir)
+
+        start = time.perf_counter()
+        cold = run(quick=True, seed=0, executor=ex)
+        cold_seconds = time.perf_counter() - start
+        cold_hits, cold_misses = ex.cache.hits, ex.cache.misses
+
+        start = time.perf_counter()
+        warm = run(quick=True, seed=0, executor=ex)
+        warm_seconds = time.perf_counter() - start
+        warm_hits = ex.cache.hits - cold_hits
+
+        points = len(warm.rows)
+        print(f"cold run: {cold_seconds:6.2f}s  "
+              f"({cold_misses} simulated, {cold_hits} cached)")
+        print(f"warm run: {warm_seconds:6.2f}s  ({warm_hits} cached)")
+
+        failures = []
+        if cold.rows != warm.rows:
+            failures.append("warm rows differ from cold rows")
+        if cold_hits != 0:
+            failures.append("cold run unexpectedly hit the cache")
+        if warm_hits < points:
+            failures.append(
+                f"warm run only hit {warm_hits} of >= {points} points"
+            )
+        if warm_seconds >= cold_seconds:
+            failures.append("warm run was not faster than cold run")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print(f"OK: {args.workers}-worker sweep reproduced from cache, "
+                  f"{cold_seconds / max(warm_seconds, 1e-9):.1f}x faster warm")
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

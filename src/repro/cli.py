@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--csv", metavar="DIR", default=None,
                      help="also write <DIR>/<name>.csv per experiment")
+    exp.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes for simulation sweeps "
+                          "(default 1 = serial; results are identical "
+                          "for any worker count)")
+    exp.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="content-addressed result cache directory; "
+                          "warm re-runs skip already-simulated points")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="ignore --cache-dir (recompute everything)")
 
     sub.add_parser("scenarios", help="print the Section 5 cost scenarios")
 
@@ -203,17 +212,23 @@ def _cmd_simulate(args) -> int:
 def _cmd_experiment(args) -> int:
     from pathlib import Path
 
+    from .exec import using_executor
     from .experiments import EXPERIMENTS, run_experiment
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
-        table = run_experiment(name, quick=not args.full, seed=args.seed)
-        print(table.render())
-        print()
-        if args.csv:
-            directory = Path(args.csv)
-            directory.mkdir(parents=True, exist_ok=True)
-            (directory / f"{name}.csv").write_text(table.to_csv())
+    with using_executor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    ):
+        for name in names:
+            table = run_experiment(name, quick=not args.full, seed=args.seed)
+            print(table.render())
+            print()
+            if args.csv:
+                directory = Path(args.csv)
+                directory.mkdir(parents=True, exist_ok=True)
+                (directory / f"{name}.csv").write_text(table.to_csv())
     return 0
 
 

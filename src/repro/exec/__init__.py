@@ -1,0 +1,93 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+``repro.exec`` is the scaling layer under the experiment harness: it
+fans independent simulation points (replications, load points, fault
+trials) out across processes and memoizes finished points on disk so
+sweeps are resumable and warm re-runs are free.  The determinism
+contract -- parallel, serial and cached runs all produce identical
+numbers for the same seeds -- is documented in ``docs/EXECUTOR.md``
+and enforced by ``tests/test_exec_parallel.py``.
+
+Most callers never construct an :class:`Executor` directly; they
+configure the **ambient executor** once (the CLI does this from
+``--workers`` / ``--cache-dir`` / ``--no-cache``) and every
+experiment, ``replicated_point`` call and fault sweep below picks it
+up::
+
+    import repro.exec as rexec
+
+    rexec.configure(workers=4, cache_dir="~/.cache/repro-rfc")
+    table = run_experiment("fig8")          # now parallel + cached
+
+    with rexec.using_executor(workers=1, use_cache=False):
+        table = run_experiment("fig8")      # reference serial run
+
+The default ambient executor is serial and cacheless, so importing
+this package changes nothing until someone opts in.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+
+from .cache import CACHE_FORMAT, CODE_VERSION, ResultCache, cache_key, topology_digest
+from .executor import ExecReport, Executor, SimTask
+
+__all__ = [
+    "Executor",
+    "ExecReport",
+    "SimTask",
+    "ResultCache",
+    "cache_key",
+    "topology_digest",
+    "CODE_VERSION",
+    "CACHE_FORMAT",
+    "build_executor",
+    "get_executor",
+    "configure",
+    "using_executor",
+]
+
+_ambient = Executor()
+
+
+def build_executor(
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> Executor:
+    """An :class:`Executor` from plain settings (no global effect)."""
+    cache = None
+    if cache_dir is not None and use_cache:
+        cache = ResultCache(Path(cache_dir).expanduser())
+    return Executor(workers=workers, cache=cache)
+
+
+def get_executor() -> Executor:
+    """The ambient executor (serial and cacheless by default)."""
+    return _ambient
+
+
+def configure(
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> Executor:
+    """Replace the ambient executor; returns the new one."""
+    global _ambient
+    _ambient = build_executor(workers, cache_dir, use_cache)
+    return _ambient
+
+
+@contextlib.contextmanager
+def using_executor(executor: Executor | None = None, **settings):
+    """Temporarily install ``executor`` (or one built from
+    ``settings``) as the ambient executor."""
+    global _ambient
+    previous = _ambient
+    _ambient = executor if executor is not None else build_executor(**settings)
+    try:
+        yield _ambient
+    finally:
+        _ambient = previous

@@ -10,10 +10,12 @@ so outputs are directly comparable.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["Table", "format_cell"]
+__all__ = ["Table", "format_cell", "timed_note"]
 
 
 def format_cell(value) -> str:
@@ -97,3 +99,19 @@ class Table:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
+
+
+@contextlib.contextmanager
+def timed_note(table: Table, label: str):
+    """Time a block and record it as a table note.
+
+    Experiments that batch work through :mod:`repro.exec` get timing
+    notes from the executor's report; this is the lightweight
+    equivalent for hand-rolled loops (``with timed_note(table, "trials"):``
+    appends ``"trials: 1.23s wall"`` on exit).
+    """
+    start = time.perf_counter()
+    try:
+        yield table
+    finally:
+        table.note(f"{label}: {time.perf_counter() - start:.2f}s wall")

@@ -15,7 +15,9 @@ from .scenario_sim import run_scenario
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
-    table = run_scenario("maximum-200k", quick=quick, seed=seed)
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+    table = run_scenario(
+        "maximum-200k", quick=quick, seed=seed, executor=executor
+    )
     table.title = "Figure 10: " + table.title
     return table

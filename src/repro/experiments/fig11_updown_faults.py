@@ -22,14 +22,17 @@ from ..core.theory import rfc_max_leaves
 from ..faults.updown_survival import updown_fault_tolerance
 from ..topologies.fattree import commodity_fat_tree
 from ..topologies.oft import orthogonal_fat_tree
-from .common import Table
+from .common import Table, timed_note
 
 __all__ = ["run"]
 
 DEFAULT_RADIX = 12
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+    """Fault-tolerance sweep; ``executor`` fans the per-topology trial
+    batches (random failure orders are still drawn serially from one
+    stream, so results match the historical serial run exactly)."""
     radix = DEFAULT_RADIX
     rng = random.Random(seed)
     if quick:
@@ -51,32 +54,40 @@ def run(quick: bool = True, seed: int = 0) -> Table:
         title=f"Figure 11: up/down-preserving fault tolerance (radix {radix})",
         headers=["topology", "levels", "terminals", "links", "tolerated %"],
     )
-    for levels, fractions in level_fractions.items():
-        cap = rfc_max_leaves(radix, levels)
-        for fraction in fractions:
-            n1 = max(radix, int(cap * fraction)) & ~1
-            if n1 < radix:
-                continue
-            topo, _ = rfc_with_updown(radix, n1, levels, rng=rng)
-            survival = updown_fault_tolerance(topo, trials=trials, rng=rng)
+    with timed_note(table, "fault-trial sweep"):
+        for levels, fractions in level_fractions.items():
+            cap = rfc_max_leaves(radix, levels)
+            for fraction in fractions:
+                n1 = max(radix, int(cap * fraction)) & ~1
+                if n1 < radix:
+                    continue
+                topo, _ = rfc_with_updown(radix, n1, levels, rng=rng)
+                survival = updown_fault_tolerance(
+                    topo, trials=trials, rng=rng, executor=executor
+                )
+                table.add(
+                    "RFC", levels, topo.num_terminals, topo.num_links,
+                    survival.mean_percent,
+                )
+        for levels in cft_levels:
+            cft = commodity_fat_tree(radix, levels)
+            survival = updown_fault_tolerance(
+                cft, trials=trials, rng=rng, executor=executor
+            )
             table.add(
-                "RFC", levels, topo.num_terminals, topo.num_links,
+                "CFT", levels, cft.num_terminals, cft.num_links,
                 survival.mean_percent,
             )
-    for levels in cft_levels:
-        cft = commodity_fat_tree(radix, levels)
-        survival = updown_fault_tolerance(cft, trials=trials, rng=rng)
-        table.add(
-            "CFT", levels, cft.num_terminals, cft.num_links,
-            survival.mean_percent,
-        )
-    for q, levels in oft_specs:
-        oft = orthogonal_fat_tree(q, levels)
-        survival = updown_fault_tolerance(oft, trials=max(2, trials // 3), rng=rng)
-        table.add(
-            "OFT", levels, oft.num_terminals, oft.num_links,
-            survival.mean_percent,
-        )
+        for q, levels in oft_specs:
+            oft = orthogonal_fat_tree(q, levels)
+            survival = updown_fault_tolerance(
+                oft, trials=max(2, trials // 3), rng=rng, executor=executor
+            )
+            table.add(
+                "OFT", levels, oft.num_terminals, oft.num_links,
+                survival.mean_percent,
+            )
+
     table.note(
         "RFC tolerance falls toward 0 as size approaches the Theorem 4.2 "
         "cap; CFTs sit below equally-sized RFCs; the 2-level OFT "

@@ -14,16 +14,38 @@ and reverses at roughly 10-15% faults.
 
 from __future__ import annotations
 
-import random
-
+from ..exec import get_executor
+from ..exec.executor import SimTask
 from ..faults.removal import shuffled_links
 from ..simulation.config import SimulationParams
-from ..simulation.engine import Simulator
-from ..simulation.traffic import TRAFFIC_NAMES, make_traffic
+from ..simulation.traffic import TRAFFIC_NAMES
 from .common import Table
 from .scenario_sim import build_networks
 
-__all__ = ["run", "faulty_saturation"]
+__all__ = ["run", "faulty_saturation", "saturation_tasks"]
+
+
+def saturation_tasks(
+    net,
+    traffic_name: str,
+    fault_counts: list[int],
+    params: SimulationParams,
+    seed: int = 0,
+) -> list[SimTask]:
+    """One offered-load-1.0 task per fault count along one failure
+    order (drawn from ``seed + 13``, as the serial loop always did)."""
+    order = shuffled_links(net, rng=seed + 13)
+    return [
+        SimTask(
+            topo=net,
+            traffic_name=traffic_name,
+            load=1.0,
+            params=params,
+            traffic_seed=seed + 101,
+            removed_links=tuple(order[:count]),
+        )
+        for count in fault_counts
+    ]
 
 
 def faulty_saturation(
@@ -32,22 +54,23 @@ def faulty_saturation(
     fault_counts: list[int],
     params: SimulationParams,
     seed: int = 0,
+    executor=None,
 ) -> list[tuple[int, float, float]]:
     """(faults, accepted, unroutable fraction) along one failure order."""
-    order = shuffled_links(net, rng=seed + 13)
-    rows = []
-    for count in fault_counts:
-        traffic = make_traffic(traffic_name, net.num_terminals, rng=seed + 101)
-        sim = Simulator(
-            net, traffic, 1.0, params, removed_links=order[:count]
+    runner = executor if executor is not None else get_executor()
+    tasks = saturation_tasks(net, traffic_name, fault_counts, params, seed)
+    results, _ = runner.run_sim_tasks(tasks)
+    return [
+        (
+            count,
+            result.accepted_load,
+            result.unroutable_packets / max(1, result.generated_packets),
         )
-        result = sim.run()
-        lost = sim.unroutable_packets / max(1, result.generated_packets)
-        rows.append((count, result.accepted_load, lost))
-    return rows
+        for count, result in zip(fault_counts, results)
+    ]
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
     networks = build_networks("equal-resources-11k", quick=quick, seed=seed)
     params = SimulationParams(
         measure_cycles=800 if quick else 2_000,
@@ -71,14 +94,30 @@ def run(quick: bool = True, seed: int = 0) -> Table:
     )
     fault_counts = [round(f * min(total.values())) for f in fractions]
     traffics = TRAFFIC_NAMES if not quick else ("uniform", "random-pairing")
+    # Submit every (network, traffic, fault count) point as one batch:
+    # with --workers N the whole figure fans out at once, and a warm
+    # cache replays it without touching the simulator.
+    runner = executor if executor is not None else get_executor()
+    groups = [
+        (label, name, saturation_tasks(net, name, fault_counts, params, seed))
+        for label, net in networks.all()
+        if label != "RFC-alt"
+        for name in traffics
+    ]
+    results, report = runner.run_sim_tasks(
+        [task for _, _, tasks in groups for task in tasks]
+    )
+    point = iter(results)
     per_net: dict[str, dict[str, list]] = {}
-    for label, net in networks.all():
-        if label == "RFC-alt":
-            continue
-        per_net[label] = {
-            name: faulty_saturation(net, name, fault_counts, params, seed)
-            for name in traffics
-        }
+    for label, name, tasks in groups:
+        per_net.setdefault(label, {})[name] = [
+            (
+                count,
+                result.accepted_load,
+                result.unroutable_packets / max(1, result.generated_packets),
+            )
+            for count, result in zip(fault_counts, (next(point) for _ in tasks))
+        ]
     for name in traffics:
         for i, count in enumerate(fault_counts):
             cft_row = per_net["CFT"][name][i]
@@ -91,4 +130,5 @@ def run(quick: bool = True, seed: int = 0) -> Table:
         f"total links -- "
         + ", ".join(f"{k}: {v}" for k, v in total.items())
     )
+    table.note(report.note())
     return table

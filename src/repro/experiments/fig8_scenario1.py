@@ -16,7 +16,9 @@ from .scenario_sim import run_scenario
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
-    table = run_scenario("equal-resources-11k", quick=quick, seed=seed)
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+    table = run_scenario(
+        "equal-resources-11k", quick=quick, seed=seed, executor=executor
+    )
     table.title = "Figure 8: " + table.title
     return table

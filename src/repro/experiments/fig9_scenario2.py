@@ -14,7 +14,9 @@ from .scenario_sim import run_scenario
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
-    table = run_scenario("intermediate-100k", quick=quick, seed=seed)
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+    table = run_scenario(
+        "intermediate-100k", quick=quick, seed=seed, executor=executor
+    )
     table.title = "Figure 9: " + table.title
     return table

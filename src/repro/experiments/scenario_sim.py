@@ -20,9 +20,8 @@ from dataclasses import dataclass
 from ..core.rfc import rfc_with_updown
 from ..cost.scenarios import scenario
 from ..simulation.config import SimulationParams
-from ..simulation.engine import simulate
 from ..simulation.flowlevel import flow_level_throughput
-from ..simulation.traffic import TRAFFIC_NAMES, make_traffic
+from ..simulation.traffic import TRAFFIC_NAMES
 from ..topologies.base import FoldedClos
 from ..topologies.fattree import commodity_fat_tree, partially_populated_cft
 from .common import Table
@@ -106,8 +105,21 @@ def run_scenario(
     traffics: tuple[str, ...] = TRAFFIC_NAMES,
     params: SimulationParams | None = None,
     flow_check: bool = True,
+    executor=None,
 ) -> Table:
-    """Load sweep for one scenario; returns the figure's data table."""
+    """Load sweep for one scenario; returns the figure's data table.
+
+    Every (traffic, load, network) point is an independent simulation,
+    so the whole sweep is submitted as one batch to ``executor`` (the
+    ambient :mod:`repro.exec` executor when None): ``--workers N``
+    fans the points across processes and a configured cache makes warm
+    re-runs free.  Each point rebuilds its traffic pattern from
+    ``seed + 101`` exactly as the serial loop always has, so the table
+    is bit-for-bit independent of worker count and scheduling.
+    """
+    from ..exec import get_executor
+    from ..exec.executor import SimTask
+
     networks = build_networks(scenario_name, quick=quick, seed=seed)
     if loads is None:
         loads = [0.3, 0.6, 0.9] if quick else [0.2, 0.5, 0.8, 1.0]
@@ -132,14 +144,28 @@ def run_scenario(
         ],
     )
     table.note(f"networks -- {sizes}")
+
+    runner = executor if executor is not None else get_executor()
+    tasks = [
+        SimTask(
+            topo=net,
+            traffic_name=traffic_name,
+            load=load,
+            params=params,
+            traffic_seed=seed + 101,
+        )
+        for traffic_name in traffics
+        for load in loads
+        for _, net in networks.all()
+    ]
+    results, report = runner.run_sim_tasks(tasks)
+
+    point = iter(results)
     for traffic_name in traffics:
         for load in loads:
             row: list = [traffic_name, load]
-            for _, net in networks.all():
-                traffic = make_traffic(
-                    traffic_name, net.num_terminals, rng=seed + 101
-                )
-                result = simulate(net, traffic, load, params)
+            for _ in networks.all():
+                result = next(point)
                 row.extend([result.accepted_load, result.avg_latency])
             table.add(*row)
         # Flow-level saturation cross-check per traffic (optional: the
@@ -153,4 +179,5 @@ def run_scenario(
             table.note(
                 f"flow-level max-min saturation ({traffic_name}): {sat}"
             )
+    table.note(report.note())
     return table

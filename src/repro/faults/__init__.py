@@ -15,6 +15,7 @@ from .switches import (
 )
 from .updown_survival import (
     UpdownSurvival,
+    order_threshold,
     pruned_stages,
     updown_fault_tolerance,
     updown_trial,
@@ -33,6 +34,7 @@ __all__ = [
     "switch_failure_order",
     "updown_switch_tolerance",
     "updown_switch_trial",
+    "order_threshold",
     "pruned_stages",
     "updown_fault_tolerance",
     "updown_trial",

@@ -30,6 +30,7 @@ __all__ = [
     "UpdownSurvival",
     "updown_fault_tolerance",
     "updown_trial",
+    "order_threshold",
     "pruned_stages",
 ]
 
@@ -68,16 +69,15 @@ def pruned_stages(
     return stages
 
 
-def updown_trial(
-    topo: FoldedClos,
-    rng: random.Random | int | None = None,
-) -> int:
-    """Failures tolerated before up/down routing breaks (one order).
+def order_threshold(topo: FoldedClos, order: list[Link]) -> int:
+    """Failures tolerated along one fixed failure order.
 
-    Returns the largest ``k`` such that the network is still up/down
-    routable after the first ``k`` failures.
+    The largest ``k`` such that the network is still up/down routable
+    after the first ``k`` failures of ``order``.  Pure function of its
+    arguments (no RNG), so trials over pre-drawn orders can run in any
+    scheduling order -- including across a process pool -- without
+    perturbing results.
     """
-    order = shuffled_links(topo, rng=rng)
     sizes = topo.level_sizes
 
     def still_ok(k: int) -> bool:
@@ -87,17 +87,43 @@ def updown_trial(
     return failure_threshold(len(order), still_ok) - 1
 
 
+def updown_trial(
+    topo: FoldedClos,
+    rng: random.Random | int | None = None,
+) -> int:
+    """Failures tolerated before up/down routing breaks (one order).
+
+    Returns the largest ``k`` such that the network is still up/down
+    routable after the first ``k`` failures.
+    """
+    return order_threshold(topo, shuffled_links(topo, rng=rng))
+
+
 def updown_fault_tolerance(
     topo: FoldedClos,
     trials: int = 20,
     rng: random.Random | int | None = None,
+    executor=None,
 ) -> UpdownSurvival:
-    """Mean fraction of links tolerable while keeping up/down routing."""
+    """Mean fraction of links tolerable while keeping up/down routing.
+
+    All ``trials`` random failure orders are drawn from ``rng`` up
+    front -- consuming exactly the same RNG stream as the historical
+    serial trial loop -- and the monotone-threshold searches (the
+    expensive part) then run through ``executor`` (the ambient
+    :mod:`repro.exec` executor when None), which may fan them across
+    worker processes.
+    """
+    from ..exec import get_executor
+
     if trials < 1:
         raise ValueError("need at least one trial")
     rand = rng if isinstance(rng, random.Random) else random.Random(rng)
     total = topo.num_links
-    fractions = [updown_trial(topo, rng=rand) / total for _ in range(trials)]
+    orders = [shuffled_links(topo, rng=rand) for _ in range(trials)]
+    runner = executor if executor is not None else get_executor()
+    thresholds = runner.map(order_threshold, [(topo, order) for order in orders])
+    fractions = [t / total for t in thresholds]
     return UpdownSurvival(
         mean_fraction=statistics.fmean(fractions),
         stdev_fraction=statistics.stdev(fractions) if trials > 1 else 0.0,

@@ -4,7 +4,12 @@ from .config import SimulationParams
 from .engine import Simulator, load_sweep, saturation_throughput, simulate
 from .flowlevel import flow_level_throughput, max_min_rates
 from .packet import Packet
-from .replication import AggregateResult, replicated_point
+from .replication import (
+    AggregateResult,
+    aggregate_replications,
+    replicated_point,
+    replication_seed,
+)
 from .stats import SimResult, SimStats
 from .traffic import (
     EXTENDED_TRAFFIC_NAMES,
@@ -28,7 +33,9 @@ __all__ = [
     "max_min_rates",
     "Packet",
     "AggregateResult",
+    "aggregate_replications",
     "replicated_point",
+    "replication_seed",
     "SimResult",
     "SimStats",
     "TrafficPattern",

@@ -317,6 +317,7 @@ class Simulator:
             num_terminals=self.topo.num_terminals,
             traffic=self.traffic.name,
             topology=self.topo.name,
+            unroutable_packets=self.unroutable_packets,
         )
 
     # ------------------------------------------------------------------

@@ -2,7 +2,15 @@
 
 Each replication re-seeds the engine (and the traffic pattern's random
 pairing/targets) deterministically from a base seed, so an aggregate is
-itself reproducible.
+itself reproducible.  The derivation is the repo-wide contract
+
+* engine seed of replication ``i``:  ``base_seed + 1_000_003 * i``
+* traffic seed of replication ``i``: engine seed ``+ 1``
+
+and is preserved bit-for-bit whether the replications run serially,
+across a process pool, or are replayed from the on-disk result cache
+(see :mod:`repro.exec`): every replication is a self-contained task,
+so worker scheduling order cannot leak into any result.
 """
 
 from __future__ import annotations
@@ -10,14 +18,27 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..topologies.base import DirectNetwork, FoldedClos
 from .config import SimulationParams
-from .engine import simulate
 from .stats import SimResult
-from .traffic import make_traffic
 
-__all__ = ["AggregateResult", "replicated_point"]
+__all__ = [
+    "AggregateResult",
+    "aggregate_replications",
+    "replication_seed",
+    "replicated_point",
+]
+
+#: Stride between consecutive replication seeds (a prime far larger
+#: than any replication count, so derived seeds never collide).
+SEED_STRIDE = 1_000_003
+
+
+def replication_seed(base_seed: int, i: int) -> int:
+    """Engine seed of replication ``i`` (the determinism contract)."""
+    return base_seed + SEED_STRIDE * i
 
 
 @dataclass(frozen=True)
@@ -43,36 +64,83 @@ class AggregateResult:
         )
 
 
+def aggregate_replications(
+    results: Sequence[SimResult],
+    offered_load: float,
+    traffic_name: str,
+    topology_name: str,
+) -> AggregateResult:
+    """Fold per-replication results into one :class:`AggregateResult`.
+
+    Replications that delivered no measured packet report NaN latency
+    and are excluded from the latency moments; when *no* replication
+    has a valid latency both latency moments are NaN (a saturated or
+    degenerate point must not masquerade as zero-variance), and a
+    single valid latency yields stdev 0.0, mirroring
+    ``accepted_stdev``'s single-sample guard.
+    """
+    if not results:
+        raise ValueError("need at least one replication result")
+    accepted = [r.accepted_load for r in results]
+    latencies = [r.avg_latency for r in results if not math.isnan(r.avg_latency)]
+    if latencies:
+        latency_mean = statistics.fmean(latencies)
+        latency_stdev = (
+            statistics.stdev(latencies) if len(latencies) > 1 else 0.0
+        )
+    else:
+        latency_mean = float("nan")
+        latency_stdev = float("nan")
+    return AggregateResult(
+        offered_load=offered_load,
+        replications=len(results),
+        accepted_mean=statistics.fmean(accepted),
+        accepted_stdev=statistics.stdev(accepted) if len(accepted) > 1 else 0.0,
+        latency_mean=latency_mean,
+        latency_stdev=latency_stdev,
+        traffic=traffic_name,
+        topology=topology_name,
+        results=tuple(results),
+    )
+
+
 def replicated_point(
     topo: FoldedClos | DirectNetwork,
     traffic_name: str,
     load: float,
     params: SimulationParams | None = None,
     replications: int = 5,
+    executor=None,
 ) -> AggregateResult:
-    """Average ``replications`` independent runs of one load point."""
+    """Average ``replications`` independent runs of one load point.
+
+    ``executor`` is a :class:`repro.exec.Executor`; when None the
+    ambient executor is used (serial and cacheless unless the caller
+    or CLI configured otherwise).
+    """
+    from ..exec import get_executor
+    from ..exec.executor import SimTask
+
     if replications < 1:
         raise ValueError("need at least one replication")
     params = params or SimulationParams()
-    results: list[SimResult] = []
+    tasks = []
     for i in range(replications):
-        seed = params.seed + 1_000_003 * i
-        traffic = make_traffic(traffic_name, topo.num_terminals, rng=seed + 1)
-        results.append(
-            simulate(topo, traffic, load, params.scaled(seed=seed))
+        seed = replication_seed(params.seed, i)
+        tasks.append(
+            SimTask(
+                topo=topo,
+                traffic_name=traffic_name,
+                load=load,
+                params=params.scaled(seed=seed),
+                traffic_seed=seed + 1,
+            )
         )
-    accepted = [r.accepted_load for r in results]
-    latencies = [r.avg_latency for r in results if not math.isnan(r.avg_latency)]
-    return AggregateResult(
+    runner = executor if executor is not None else get_executor()
+    results, _ = runner.run_sim_tasks(tasks)
+    return aggregate_replications(
+        results,
         offered_load=load,
-        replications=replications,
-        accepted_mean=statistics.fmean(accepted),
-        accepted_stdev=statistics.stdev(accepted) if len(accepted) > 1 else 0.0,
-        latency_mean=statistics.fmean(latencies) if latencies else float("nan"),
-        latency_stdev=(
-            statistics.stdev(latencies) if len(latencies) > 1 else 0.0
-        ),
-        traffic=traffic_name,
-        topology=getattr(topo, "name", "network"),
-        results=tuple(results),
+        traffic_name=traffic_name,
+        topology_name=getattr(topo, "name", "network"),
     )

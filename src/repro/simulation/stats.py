@@ -107,6 +107,7 @@ class SimResult:
     p99_latency: float
     traffic: str
     topology: str
+    unroutable_packets: int = 0
 
     @classmethod
     def from_stats(
@@ -116,6 +117,7 @@ class SimResult:
         num_terminals: int,
         traffic: str,
         topology: str,
+        unroutable_packets: int = 0,
     ) -> "SimResult":
         cycles = stats.horizon - stats.warmup
         accepted = stats.measured_phits / (num_terminals * cycles)
@@ -138,6 +140,7 @@ class SimResult:
             p99_latency=stats.latency_percentile(0.99),
             traffic=traffic,
             topology=topology,
+            unroutable_packets=unroutable_packets,
         )
 
     def row(self) -> str:

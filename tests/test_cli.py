@@ -20,6 +20,18 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig5", "--full"])
         assert args.name == "fig5"
         assert args.full
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_experiment_exec_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig8", "--workers", "4",
+             "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
 
 
 class TestCommands:
@@ -65,6 +77,25 @@ class TestCommands:
     def test_experiment(self, capsys):
         assert main(["experiment", "sec5"]) == 0
         assert "Section 5" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_experiment_with_workers_and_cache(self, capsys, tmp_path):
+        """fig12 quick through the executor: parallel cold run, then a
+        warm run replayed entirely from the --cache-dir."""
+        argv = ["experiment", "fig12", "--workers", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "exec: 16 points (0 cached, 16 simulated)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "exec: 16 points (16 cached, 0 simulated)" in warm
+
+        def rows(out):
+            return [line for line in out.splitlines()
+                    if not line.startswith("note: exec:")]
+
+        assert rows(cold) == rows(warm)
 
     def test_scenarios(self, capsys):
         assert main(["scenarios"]) == 0

@@ -1,0 +1,138 @@
+"""Serial/parallel equivalence of the repro.exec executor.
+
+The core determinism contract: for the same base seed, a sweep's
+numbers are identical whether its points run in-process, across a
+process pool of any size, or are replayed from the cache.
+"""
+
+import pytest
+
+from repro.exec import Executor, build_executor, get_executor, using_executor
+from repro.exec.executor import SimTask
+from repro.experiments import fig8_scenario1
+from repro.experiments.scenario_sim import run_scenario
+from repro.faults.updown_survival import updown_fault_tolerance
+from repro.simulation import SimulationParams, replicated_point
+
+FAST = SimulationParams(measure_cycles=300, warmup_cycles=100, seed=5)
+
+
+class TestReplicatedPointEquivalence:
+    def test_parallel_matches_serial(self, cft_4_3):
+        serial = replicated_point(
+            cft_4_3, "uniform", 0.4, FAST, replications=3,
+            executor=Executor(workers=1),
+        )
+        parallel = replicated_point(
+            cft_4_3, "uniform", 0.4, FAST, replications=3,
+            executor=Executor(workers=2),
+        )
+        assert serial == parallel
+
+    def test_parallel_matches_serial_stateful_traffic(self, cft_4_3):
+        """Random-pairing rebuilds its pairing per replication from the
+        derived seed, so worker scheduling cannot change it."""
+        serial = replicated_point(
+            cft_4_3, "random-pairing", 0.6, FAST, replications=4,
+            executor=Executor(workers=1),
+        )
+        parallel = replicated_point(
+            cft_4_3, "random-pairing", 0.6, FAST, replications=4,
+            executor=Executor(workers=3),
+        )
+        assert serial == parallel
+
+    def test_ambient_executor_used_by_default(self, cft_4_3):
+        reference = replicated_point(
+            cft_4_3, "uniform", 0.4, FAST, replications=2
+        )
+        with using_executor(workers=2):
+            assert get_executor().workers == 2
+            ambient = replicated_point(
+                cft_4_3, "uniform", 0.4, FAST, replications=2
+            )
+        assert reference == ambient
+
+
+class TestSweepEquivalence:
+    def test_scenario_sweep_rows_identical(self):
+        kwargs = dict(
+            quick=True, seed=0, loads=[0.3, 0.6], traffics=("uniform",),
+            params=SimulationParams(
+                measure_cycles=300, warmup_cycles=100, seed=0
+            ),
+            flow_check=False,
+        )
+        serial = run_scenario("equal-resources-11k", **kwargs)
+        parallel = run_scenario(
+            "equal-resources-11k", executor=Executor(workers=2), **kwargs
+        )
+        assert serial.rows == parallel.rows
+        assert serial.headers == parallel.headers
+
+    @pytest.mark.slow
+    def test_fig8_quick_rows_identical(self):
+        serial = fig8_scenario1.run(quick=True, seed=0)
+        parallel = fig8_scenario1.run(
+            quick=True, seed=0, executor=Executor(workers=2)
+        )
+        assert serial.rows == parallel.rows
+        # Informational notes (timing) may differ; data notes must not.
+        assert [n for n in serial.notes if not n.startswith("exec:")] == [
+            n for n in parallel.notes if not n.startswith("exec:")
+        ]
+        assert any(n.startswith("exec:") for n in parallel.notes)
+
+
+class TestFaultTrialEquivalence:
+    def test_updown_tolerance_identical(self, rfc_small):
+        serial = updown_fault_tolerance(
+            rfc_small, trials=5, rng=3, executor=Executor(workers=1)
+        )
+        parallel = updown_fault_tolerance(
+            rfc_small, trials=5, rng=3, executor=Executor(workers=2)
+        )
+        assert serial == parallel
+
+
+class TestTaskOrdering:
+    def test_results_follow_task_order(self, cft_4_3):
+        """Completion order must never leak into result order."""
+        loads = [0.2, 0.5, 0.8, 0.3]
+        tasks = [
+            SimTask(
+                topo=cft_4_3, traffic_name="uniform", load=load,
+                params=FAST, traffic_seed=7,
+            )
+            for load in loads
+        ]
+        results, report = Executor(workers=2).run_sim_tasks(tasks)
+        assert [r.offered_load for r in results] == loads
+        assert report.points == len(loads)
+        assert report.computed == len(loads)
+        assert report.cache_hits == 0
+
+    def test_report_note_shape(self, cft_4_3):
+        tasks = [
+            SimTask(
+                topo=cft_4_3, traffic_name="uniform", load=0.4,
+                params=FAST, traffic_seed=7,
+            )
+        ]
+        _, report = Executor().run_sim_tasks(tasks)
+        note = report.note()
+        assert note.startswith("exec: 1 points")
+        assert "workers=1" in note
+
+
+class TestBuildExecutor:
+    def test_defaults_serial_cacheless(self):
+        ex = build_executor()
+        assert ex.workers == 1 and ex.cache is None
+
+    def test_no_cache_flag_wins(self, tmp_path):
+        ex = build_executor(workers=2, cache_dir=tmp_path, use_cache=False)
+        assert ex.cache is None
+
+    def test_worker_floor(self):
+        assert Executor(workers=0).workers == 1

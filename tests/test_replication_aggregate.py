@@ -1,0 +1,76 @@
+"""Aggregation of replicated results, including NaN-latency guards.
+
+Regression: a replication that delivers no measured packet reports NaN
+latency.  ``aggregate_replications`` must exclude those from the
+latency moments, report stdev 0.0 when exactly one valid latency
+remains (mirroring ``accepted_stdev``'s single-sample guard), and
+report NaN -- not a fake 0.0 -- when no replication produced a valid
+latency at all.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.simulation.replication import aggregate_replications
+from repro.simulation.stats import SimResult
+
+
+def _result(accepted: float, latency: float) -> SimResult:
+    return SimResult(
+        offered_load=0.5, accepted_load=accepted, avg_latency=latency,
+        avg_hops=4.0, generated_packets=10, delivered_packets=10,
+        measured_packets=0 if math.isnan(latency) else 8,
+        max_latency=0, p50_latency=latency, p99_latency=latency,
+        traffic="uniform", topology="net",
+    )
+
+
+NAN = float("nan")
+
+
+class TestLatencyGuards:
+    def test_all_nan_latencies_yield_nan_moments(self):
+        agg = aggregate_replications(
+            [_result(0.1, NAN), _result(0.2, NAN)], 0.5, "uniform", "net"
+        )
+        assert math.isnan(agg.latency_mean)
+        assert math.isnan(agg.latency_stdev)
+        assert agg.accepted_mean == pytest.approx(0.15)
+
+    def test_single_valid_latency_has_zero_stdev(self):
+        agg = aggregate_replications(
+            [_result(0.1, NAN), _result(0.2, 33.0), _result(0.3, NAN)],
+            0.5, "uniform", "net",
+        )
+        assert agg.latency_mean == 33.0
+        assert agg.latency_stdev == 0.0
+        assert agg.replications == 3
+
+    def test_two_valid_latencies_use_sample_stdev(self):
+        agg = aggregate_replications(
+            [_result(0.1, 30.0), _result(0.2, 40.0), _result(0.3, NAN)],
+            0.5, "uniform", "net",
+        )
+        assert agg.latency_mean == pytest.approx(35.0)
+        assert agg.latency_stdev == pytest.approx(
+            statistics.stdev([30.0, 40.0])
+        )
+
+    def test_row_renders_with_nan_latency(self):
+        agg = aggregate_replications(
+            [_result(0.1, NAN)], 0.5, "uniform", "net"
+        )
+        assert "nan" in agg.row()
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_replications([], 0.5, "uniform", "net")
+
+
+class TestAcceptedGuards:
+    def test_single_replication_zero_accepted_stdev(self):
+        agg = aggregate_replications([_result(0.4, 20.0)], 0.5, "u", "n")
+        assert agg.accepted_stdev == 0.0
+        assert agg.accepted_mean == 0.4
