@@ -103,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     div.add_argument("--pairs", type=int, default=200)
     div.add_argument("--seed", type=int, default=0)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/reproducibility checkers (repro.lint)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default: text)")
+
     export = sub.add_parser(
         "export", help="generate a topology and write it to a file"
     )
@@ -116,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     from .core.ancestors import has_updown_routing_of
     from .core.rfc import radix_regular_rfc
     from .core.theory import rfc_max_leaves
@@ -153,7 +164,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.rfc import rfc_with_updown
     from .core.theory import (
         rfc_max_leaves,
@@ -182,7 +193,7 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.rfc import rfc_with_updown
     from .simulation.config import SimulationParams
     from .simulation.engine import simulate
@@ -209,7 +220,7 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .exec import using_executor
@@ -232,7 +243,7 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import analyze_network
     from .topologies.io import load
 
@@ -244,7 +255,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_diversity(args) -> int:
+def _cmd_diversity(args: argparse.Namespace) -> int:
     from .core.rfc import rfc_with_updown
     from .core.theory import rfc_max_leaves
     from .routing.diversity import path_diversity_census
@@ -268,7 +279,7 @@ def _cmd_diversity(args) -> int:
     return 0
 
 
-def _cmd_export(args) -> int:
+def _cmd_export(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .core.rfc import rfc_with_updown
@@ -307,7 +318,13 @@ def _cmd_export(args) -> int:
     return 0
 
 
-def _cmd_scenarios(args) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.runner import main as lint_main
+
+    return lint_main([*args.paths, "--format", args.format])
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
     from .experiments.sec5_scenarios import run
 
     print(run(quick=True).render())
@@ -322,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "scenarios": _cmd_scenarios,
+        "lint": _cmd_lint,
         "report": _cmd_report,
         "diversity": _cmd_diversity,
         "export": _cmd_export,

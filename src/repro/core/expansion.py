@@ -114,8 +114,10 @@ def _splice_bipartite(
     assert len(pending1) == len(pending2)
     if not pending1:
         return
+    # sorted(): the edge list's order feeds rand.randrange indexing, so
+    # set iteration order must not leak into which links get broken.
     old_edges = [
-        (a, b) for a in range(n1_old) for b in adj1[a] if b < n2_old
+        (a, b) for a in range(n1_old) for b in sorted(adj1[a]) if b < n2_old
     ]
     if not old_edges:
         raise ExpansionError("no existing links to splice into")
@@ -303,7 +305,11 @@ def expand_rrn(
                 need -= 1
                 # The earlier spare switch also consumed its odd port.
         breaks = need // 2
-        edges = [(a, b) for a in range(len(adj)) for b in adj[a] if a < b]
+        # sorted() for the same reason as _splice_bipartite: this list
+        # is indexed by rand.randrange, so its order is result-bearing.
+        edges = [
+            (a, b) for a in range(len(adj)) for b in sorted(adj[a]) if a < b
+        ]
         for _ in range(breaks):
             for _ in range(max_tries):
                 a, b = edges[rand.randrange(len(edges))]

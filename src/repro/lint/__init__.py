@@ -1,0 +1,69 @@
+"""AST-based determinism and reproducibility linting (``repro.lint``).
+
+Every figure in this reproduction is defined by an RNG stream: a
+random folded Clos *is* the sequence of draws that wired it, a
+Theorem 4.2 sweep *is* the seeds it averaged over, and the
+``repro.exec`` result cache replays old numbers only as long as its
+keys are pure functions of the inputs.  A single call into unseeded
+global RNG state, a ``hash()`` of a string reaching a cache key, or a
+``set`` iterated into an RNG-indexed list silently breaks all of that
+-- usually without failing a single test on the machine it was
+written on.
+
+``repro.lint`` catches the whole class mechanically.  It parses each
+source file once, runs a registry of :class:`~repro.lint.base.Checker`
+plugins over the AST and reports :class:`~repro.lint.findings.Finding`
+records.  Shipped checkers:
+
+========  ==========================================================
+code      hazard
+========  ==========================================================
+RPR001    unseeded RNG (``random.*`` module globals, legacy
+          ``np.random.*``, ``default_rng()`` / ``Random()`` with no
+          seed)
+RPR002    builtin ``hash()`` / ``id()`` flowing into cache keys,
+          seeds or sort keys (``PYTHONHASHSEED`` nondeterminism)
+RPR003    ``set`` iteration feeding RNG draws, ordered accumulation
+          or serialization
+RPR004    wall-clock / entropy sources on cache-key or
+          seed-derivation paths
+RPR005    lambdas or nested closures submitted to a process pool
+          (unpicklable under spawn)
+RPR006    mutable default arguments in public API functions
+========  ==========================================================
+
+Run it as ``python -m repro.lint src`` or ``repro-rfc lint``; exit
+status is non-zero whenever findings remain.  Intentional uses are
+waived per line with ``# repro: allow-<code> -- <justification>``.
+See ``docs/LINTING.md`` for the full catalogue with examples.
+"""
+
+from __future__ import annotations
+
+from .base import Checker, all_checkers, checker_codes, register
+from .context import FileContext
+from .findings import Finding, Severity
+from .runner import (
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+from .suppressions import parse_suppressions
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "Severity",
+    "all_checkers",
+    "checker_codes",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "register",
+]

@@ -1,0 +1,81 @@
+"""The :class:`Checker` plugin contract and registry.
+
+A checker is a class with a ``CODE``, a ``SUMMARY`` and a
+:meth:`Checker.check` generator over one file's
+:class:`~repro.lint.context.FileContext`.  Registration is explicit
+(the :func:`register` decorator) so importing ``repro.lint.checkers``
+is the single side effect that populates the registry, and tests can
+instantiate checkers individually without it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Type
+
+from .context import FileContext
+from .findings import Finding, Severity
+
+__all__ = ["Checker", "register", "all_checkers", "checker_codes"]
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+_REGISTRY: dict[str, Type["Checker"]] = {}
+
+
+class Checker:
+    """Base class for one reproducibility rule.
+
+    Subclasses set ``CODE`` (``RPR`` + three digits), ``SUMMARY`` (one
+    line, shown in ``--list`` style output and docs) and implement
+    :meth:`check`.  :meth:`finding` builds a correctly-attributed
+    :class:`Finding` from an AST node.
+    """
+
+    CODE: str = ""
+    SUMMARY: str = ""
+    SEVERITY: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file.  Must not mutate ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` pinned to ``node``'s source location."""
+        return Finding(
+            file=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.CODE,
+            severity=self.SEVERITY,
+            message=message,
+        )
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the global registry.
+
+    Codes must be unique and well-formed; a duplicate registration is
+    a programming error worth failing loudly on.
+    """
+    if not _CODE_RE.match(cls.CODE):
+        raise ValueError(f"bad checker code {cls.CODE!r} on {cls.__name__}")
+    if cls.CODE in _REGISTRY and _REGISTRY[cls.CODE] is not cls:
+        raise ValueError(f"duplicate checker code {cls.CODE}")
+    _REGISTRY[cls.CODE] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, ordered by code."""
+    from . import checkers  # noqa: F401  (import populates the registry)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def checker_codes() -> list[str]:
+    """Sorted registered codes (after loading the built-in set)."""
+    from . import checkers  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,24 @@
+"""Built-in checker plugins.
+
+Importing this package registers every shipped checker; the registry
+in :mod:`repro.lint.base` does it lazily so the data model can be
+imported without side effects.
+"""
+
+from __future__ import annotations
+
+from .rpr001_unseeded_rng import UnseededRngChecker
+from .rpr002_hash_id import HashIdKeyChecker
+from .rpr003_set_iteration import SetIterationChecker
+from .rpr004_wallclock import WallClockChecker
+from .rpr005_pool_closures import PoolClosureChecker
+from .rpr006_mutable_defaults import MutableDefaultChecker
+
+__all__ = [
+    "UnseededRngChecker",
+    "HashIdKeyChecker",
+    "SetIterationChecker",
+    "WallClockChecker",
+    "PoolClosureChecker",
+    "MutableDefaultChecker",
+]

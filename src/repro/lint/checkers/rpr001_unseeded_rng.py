@@ -1,0 +1,102 @@
+"""RPR001: unseeded RNG in library code.
+
+The paper's constructions are *defined* by their RNG stream (a random
+folded Clos is the sequence of draws that wired it), so any draw from
+process-global or entropy-seeded state silently changes every result
+built on top of it.  Three families are flagged:
+
+* ``random.<fn>()`` module-level functions (``random.shuffle``,
+  ``random.randint``, ...) -- they share hidden global state seeded
+  from the OS at import time;
+* the legacy ``numpy.random.<fn>()`` global API, same problem;
+* RNG constructors with no seed: ``random.Random()``,
+  ``numpy.random.default_rng()``, ``numpy.random.RandomState()``
+  seed themselves from OS entropy, and ``random.SystemRandom`` is
+  entropy by design.
+
+Seeded constructions (``random.Random(seed)``, ``default_rng(seed)``)
+and calls on instances (``rand.shuffle(...)``) pass clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+#: ``random`` module functions that touch the hidden global instance.
+_RANDOM_GLOBAL_FNS = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "getrandbits", "randbytes",
+    "betavariate", "binomialvariate", "expovariate", "gammavariate",
+    "gauss", "lognormvariate", "normalvariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate",
+})
+
+#: ``numpy.random`` attributes that are *not* part of the legacy
+#: global-state API (constructors and submodule machinery).
+_NUMPY_NON_GLOBAL = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: Constructors that self-seed from OS entropy when called bare.
+_SEEDABLE_CTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """Whether the constructor call passes any seed material."""
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") or kw.arg is None for kw in call.keywords)
+
+
+@register
+class UnseededRngChecker(Checker):
+    CODE = "RPR001"
+    SUMMARY = "unseeded RNG: global random.* / np.random.* state or bare RNG constructors"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve_call(node)
+            if name is None:
+                continue
+            if name == "random.SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "be reproduced; construct random.Random(seed) instead",
+                )
+            elif name in _SEEDABLE_CTORS:
+                if not _has_seed_argument(node):
+                    yield self.finding(
+                        ctx, node,
+                        f"{name}() with no seed self-seeds from OS entropy; "
+                        "pass an explicit seed so runs are reproducible",
+                    )
+            elif name.startswith("random."):
+                fn = name.removeprefix("random.")
+                if fn in _RANDOM_GLOBAL_FNS:
+                    yield self.finding(
+                        ctx, node,
+                        f"random.{fn}() uses the process-global RNG; thread "
+                        "a seeded random.Random instance through instead",
+                    )
+            elif name.startswith("numpy.random."):
+                attr = name.removeprefix("numpy.random.")
+                if "." not in attr and attr not in _NUMPY_NON_GLOBAL:
+                    yield self.finding(
+                        ctx, node,
+                        f"numpy.random.{attr}() uses NumPy's legacy global "
+                        "state; use numpy.random.default_rng(seed) and call "
+                        "methods on the returned Generator",
+                    )

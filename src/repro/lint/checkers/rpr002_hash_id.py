@@ -1,0 +1,100 @@
+"""RPR002: builtin ``hash()`` / ``id()`` flowing into keys or seeds.
+
+``hash(str)`` is salted per process (``PYTHONHASHSEED``) and ``id()``
+is an address -- both vary run to run.  Folding either into a cache
+key, a seed derivation or a sort key makes results differ across
+processes while looking perfectly deterministic inside one.  This is
+exactly the failure mode a content-addressed result cache cannot
+tolerate: the same simulation point would be stored under a different
+digest by every worker.
+
+Flagged sinks for a ``hash(...)`` / ``id(...)`` value:
+
+* subscript keys -- ``cache[hash(cfg)]``, ``memo[id(obj)] = ...``;
+* keyword arguments named ``seed``, ``rng`` or ``key``;
+* any argument to a callable whose name mentions seed/key/cache/
+  digest/derive, or to dict-style ``.get`` / ``.setdefault`` /
+  ``.pop``;
+* assignment to a variable whose name mentions seed/key/digest.
+
+A bare ``hash()`` / ``id()`` used for, say, logging is left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+_SENSITIVE_CALL_RE = re.compile(r"(seed|key|cache|digest|derive)", re.IGNORECASE)
+_SENSITIVE_NAME_RE = re.compile(r"(seed|key|digest)", re.IGNORECASE)
+_DICT_METHODS = frozenset({"get", "setdefault", "pop"})
+_SENSITIVE_KEYWORDS = frozenset({"seed", "rng", "key"})
+
+
+def _callee_name(call: ast.Call) -> str:
+    """Rightmost identifier of the callee (``a.b.make_key`` -> ``make_key``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@register
+class HashIdKeyChecker(Checker):
+    CODE = "RPR002"
+    SUMMARY = "builtin hash()/id() flowing into cache keys, seeds or sort keys"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("hash", "id")
+                and ctx.is_builtin(node.func.id)
+            ):
+                continue
+            sink = self._sink_description(ctx, node)
+            if sink is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{node.func.id}() varies between processes "
+                    f"(PYTHONHASHSEED / addresses) but flows into {sink}; "
+                    "use a content digest (e.g. hashlib over a canonical "
+                    "serialization) or an explicit integer instead",
+                )
+
+    def _sink_description(self, ctx: FileContext, call: ast.Call) -> str | None:
+        """How the call's value reaches key/seed material, or None."""
+        previous: ast.AST = call
+        for ancestor in ctx.ancestors(call):
+            if isinstance(ancestor, ast.keyword):
+                if ancestor.arg in _SENSITIVE_KEYWORDS:
+                    return f"keyword argument {ancestor.arg}="
+            elif isinstance(ancestor, ast.Call):
+                # Only when we arrived via the arguments, not the callee.
+                if previous is ancestor.func:
+                    return None
+                name = _callee_name(ancestor)
+                if _SENSITIVE_CALL_RE.search(name) or name in _DICT_METHODS:
+                    return f"a call to {name}()"
+            elif isinstance(ancestor, ast.Subscript):
+                if previous is not ancestor.value:
+                    return "a subscript key"
+            elif isinstance(ancestor, ast.Assign):
+                for target in ancestor.targets:
+                    if isinstance(target, ast.Name) and _SENSITIVE_NAME_RE.search(
+                        target.id
+                    ):
+                        return f"variable {target.id!r}"
+                return None
+            elif isinstance(ancestor, ast.stmt):
+                return None
+            previous = ancestor
+        return None

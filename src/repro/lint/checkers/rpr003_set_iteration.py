@@ -1,0 +1,243 @@
+"""RPR003: ``set`` iteration feeding order-sensitive computation.
+
+Set iteration order is implementation-defined.  Iterating a set is
+fine when the loop computes an order-independent reduction (membership
+scans, ``any``/``all``/``sum``, building another set or dict), but it
+is a reproducibility bug the moment the order leaks into results:
+
+* building a **list or tuple** (the classic ``[f(x) for x in s]``) --
+  downstream indexing, zipping or RNG-driven selection now depends on
+  hash-table layout;
+* a loop body that **draws from an RNG**, **appends/yields** into
+  ordered output, or **serializes** (``write``/``dump``/``print``) --
+  the emitted stream varies between interpreters and insertion
+  histories.
+
+The fix is always the same: iterate ``sorted(the_set)`` (or keep a
+list in the first place).  ``sorted`` consumes the set before any
+order-sensitive work happens, so wrapped iterations pass clean.
+
+Detection is intraprocedural and name-based: a name counts as a set
+if it is assigned from a set constructor/literal/comprehension or
+set-algebra method, or annotated ``set[...]``; containers of sets
+(``list[set[int]]`` parameters, ``[set(...) for ...]`` builds) make
+their subscripts count too.  That is deliberately narrow -- it will
+miss sets smuggled through other calls, but it never cries wolf on
+ordinary list iteration, which keeps the gate adoptable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+#: Builtins whose result does not depend on input order.
+_ORDER_FREE_REDUCERS = frozenset({
+    "any", "all", "sum", "min", "max", "len", "set", "frozenset",
+    "sorted", "dict",
+})
+
+#: Method names that produce a new set from a set receiver.
+_SET_ALGEBRA = frozenset({
+    "intersection", "union", "difference", "symmetric_difference", "copy",
+})
+
+#: Attribute calls inside a loop body that make its order observable.
+_ORDERED_MUTATORS = frozenset({"append", "extend", "insert"})
+_SERIALIZERS = frozenset({"write", "writelines", "dump", "dumps"})
+_RNG_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits",
+})
+
+
+def _is_set_annotation(ann: ast.expr | None) -> bool:
+    """``set[...]`` / ``Set[...]`` / bare ``set``."""
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Subscript):
+        ann = ann.value
+    return (isinstance(ann, ast.Name) and ann.id in ("set", "Set", "AbstractSet",
+                                                     "MutableSet", "FrozenSet",
+                                                     "frozenset")) or (
+        isinstance(ann, ast.Attribute) and ann.attr in ("Set", "AbstractSet",
+                                                        "MutableSet", "FrozenSet")
+    )
+
+
+def _is_container_of_sets_annotation(ann: ast.expr | None) -> bool:
+    """``list[set[int]]`` / ``Sequence[set[int]]`` and friends."""
+    if not isinstance(ann, ast.Subscript):
+        return False
+    inner = ann.slice
+    if isinstance(inner, ast.Tuple):
+        return any(_is_set_annotation(elt) for elt in inner.elts)
+    return _is_set_annotation(inner)
+
+
+class _SetTracker:
+    """Which names in one scope are sets / containers of sets."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.container_names: set[str] = set()
+
+    def observe(self, node: ast.AST) -> None:
+        if isinstance(node, ast.arg):
+            if _is_set_annotation(node.annotation):
+                self.set_names.add(node.arg)
+            elif _is_container_of_sets_annotation(node.annotation):
+                self.container_names.add(node.arg)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation):
+                self.set_names.add(node.target.id)
+            elif _is_container_of_sets_annotation(node.annotation):
+                self.container_names.add(node.target.id)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if self.is_set_expr(node.value):
+                    self.set_names.add(target.id)
+                elif self._builds_container_of_sets(node.value):
+                    self.container_names.add(target.id)
+                else:
+                    self.set_names.discard(target.id)
+                    self.container_names.discard(target.id)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        """Whether ``node`` syntactically denotes a set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Subscript):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.container_names
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_ALGEBRA:
+                return self.is_set_expr(func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) and self.is_set_expr(node.right)
+        return False
+
+    def _builds_container_of_sets(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.ListComp):
+            return self.is_set_expr(node.elt)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return bool(node.elts) and all(
+                self.is_set_expr(elt) for elt in node.elts
+            )
+        return False
+
+
+def _loop_order_sink(body: list[ast.stmt]) -> str | None:
+    """Why a ``for`` body is order-sensitive, or None if it is not."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields values in iteration order"
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr in _ORDERED_MUTATORS:
+                        return f"accumulates with .{func.attr}()"
+                    if func.attr in _SERIALIZERS:
+                        return f"serializes with .{func.attr}()"
+                    if func.attr in _RNG_DRAWS:
+                        return f"draws from an RNG (.{func.attr}())"
+                elif isinstance(func, ast.Name) and func.id == "print":
+                    return "prints in iteration order"
+    return None
+
+
+@register
+class SetIterationChecker(Checker):
+    CODE = "RPR003"
+    SUMMARY = "set iteration feeding RNG draws, ordered accumulation or serialization"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            node for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+        tracker = _SetTracker()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                tracker.observe(arg)
+            body: list[ast.stmt] = scope.body
+        else:
+            body = scope.body  # type: ignore[attr-defined]
+        for node in self._walk_scope(body):
+            tracker.observe(node)
+            if isinstance(node, ast.For) and tracker.is_set_expr(node.iter):
+                sink = _loop_order_sink(node.body)
+                if sink is not None:
+                    yield self.finding(
+                        ctx, node,
+                        "iteration over a set in implementation-defined "
+                        f"order {sink}; iterate sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                yield from self._check_comprehension(ctx, tracker, node)
+
+    def _check_comprehension(
+        self,
+        ctx: FileContext,
+        tracker: _SetTracker,
+        node: ast.ListComp | ast.GeneratorExp,
+    ) -> Iterator[Finding]:
+        if not any(
+            tracker.is_set_expr(gen.iter) for gen in node.generators
+        ):
+            return
+        if isinstance(node, ast.GeneratorExp):
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_FREE_REDUCERS
+                and ctx.is_builtin(parent.func.id)
+            ):
+                return
+            # ``x in (f(y) for y in s)`` is an any()-style reduction:
+            # membership does not observe iteration order.
+            if isinstance(parent, ast.Compare) and all(
+                isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+            ):
+                return
+        kind = "list" if isinstance(node, ast.ListComp) else "generator"
+        yield self.finding(
+            ctx, node,
+            f"{kind} comprehension over a set captures implementation-"
+            "defined iteration order in ordered output; iterate "
+            "sorted(...) instead",
+        )
+
+    @staticmethod
+    def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested functions
+        (each function scope is analysed with its own tracker)."""
+        stack: list[ast.AST] = list(reversed(body))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(reversed(list(ast.iter_child_nodes(node))))

@@ -1,0 +1,78 @@
+"""RPR004: wall-clock / entropy sources on key or seed paths.
+
+A result cache is only content-addressed while its keys are pure
+functions of the inputs; a seed derivation is only reproducible while
+it is a pure function of the base seed.  ``time.time()``,
+``datetime.now()``, ``os.urandom()`` and ``uuid`` values are different
+on every call, so any of them reaching key or seed material makes
+cache entries unreachable (every run computes fresh keys) or results
+unrepeatable -- both silently.
+
+The checker is path- and name-scoped rather than global, because
+wall-clock reads are legitimate for *timing* (``time.perf_counter``
+in the executor's reports is fine and not in the banned set):
+
+* inside any file of an ``exec`` package (the execution/cache layer),
+  every banned call is flagged;
+* elsewhere, banned calls are flagged only inside functions whose
+  name mentions key/seed/digest/derive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+_BANNED = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUIDs",
+    "uuid.uuid4": "random UUIDs",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "secrets.randbits": "OS entropy",
+    "secrets.randbelow": "OS entropy",
+}
+
+_SENSITIVE_FN_PARTS = ("key", "seed", "digest", "derive")
+
+
+@register
+class WallClockChecker(Checker):
+    CODE = "RPR004"
+    SUMMARY = "wall-clock/entropy sources inside cache-key or seed-derivation paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        exec_path = ctx.on_exec_path()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.imports.resolve_call(node)
+            if name not in _BANNED:
+                continue
+            if exec_path:
+                scope = "the execution/cache layer"
+            else:
+                fn = ctx.enclosing_function(node)
+                if fn is None or not any(
+                    part in fn.name.lower() for part in _SENSITIVE_FN_PARTS
+                ):
+                    continue
+                scope = f"{fn.name}(), a key/seed-derivation function"
+            yield self.finding(
+                ctx, node,
+                f"{name}() reads {_BANNED[name]} inside {scope}; keys and "
+                "seeds must be pure functions of the inputs (derive from "
+                "explicit arguments, or use time.perf_counter for timing)",
+            )

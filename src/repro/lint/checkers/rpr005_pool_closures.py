@@ -1,0 +1,95 @@
+"""RPR005: lambdas / nested closures submitted to a process pool.
+
+``ProcessPoolExecutor`` and ``multiprocessing`` pools pickle the task
+callable into the worker.  Lambdas and functions defined inside other
+functions do not pickle under the ``spawn`` start method (the default
+on macOS and Windows, and the only safe one with threads), so code
+that "works on my Linux box" under ``fork`` dies -- or worse, quietly
+falls back to serial -- elsewhere.  The executor's contract in this
+codebase is that every submitted callable is a module-level function.
+
+Flagged: a lambda, a nested ``def``, or a ``functools.partial`` over
+either, passed as the callable to ``.submit`` / ``.map`` / ``.imap``
+/ ``.imap_unordered`` / ``.starmap`` / ``.apply_async`` / ``.apply``.
+Module-level functions (including ``partial`` over them) pass clean,
+as does the builtin ``map(lambda ...)`` (no attribute receiver, no
+pickling).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+_POOL_METHODS = frozenset({
+    "submit", "map", "imap", "imap_unordered", "starmap", "starmap_async",
+    "apply", "apply_async",
+})
+
+
+@register
+class PoolClosureChecker(Checker):
+    CODE = "RPR005"
+    SUMMARY = "lambda or nested closure submitted to a process pool (unpicklable under spawn)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        nested = self._nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_METHODS
+                and node.args
+            ):
+                continue
+            candidate = node.args[0]
+            problem = self._unpicklable(ctx, candidate, nested)
+            if problem is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{problem} passed to .{node.func.attr}() cannot be "
+                    "pickled into a spawned worker process; hoist it to a "
+                    "module-level function",
+                )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+        """Names of functions defined inside other functions."""
+        names: set[str] = set()
+        outer: list[ast.FunctionDef | ast.AsyncFunctionDef] = [
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for fn in outer:
+            for inner in ast.walk(fn):
+                if inner is not fn and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    names.add(inner.name)
+        return frozenset(names)
+
+    def _unpicklable(
+        self,
+        ctx: FileContext,
+        candidate: ast.expr,
+        nested: frozenset[str],
+    ) -> str | None:
+        if isinstance(candidate, ast.Lambda):
+            return "a lambda"
+        if isinstance(candidate, ast.Name) and candidate.id in nested:
+            return f"nested function {candidate.id}()"
+        if isinstance(candidate, ast.Call):
+            name = ctx.imports.resolve_call(candidate)
+            callee = candidate.func
+            is_partial = name == "functools.partial" or (
+                isinstance(callee, ast.Name) and callee.id == "partial"
+            )
+            if is_partial and candidate.args:
+                inner = self._unpicklable(ctx, candidate.args[0], nested)
+                if inner is not None:
+                    return f"functools.partial over {inner}"
+        return None

@@ -1,0 +1,77 @@
+"""RPR006: mutable default arguments in public API functions.
+
+A ``def f(x, acc=[])`` default is evaluated once and shared by every
+call: state leaks between invocations, so two identical experiment
+runs can observe different "defaults" depending on what ran before
+them -- a reproducibility hazard dressed up as a convenience.  Public
+functions (no leading underscore) are held to this; private helpers
+are left to local judgement, since the sharing is at least contained
+to one module.
+
+Flagged defaults: list/dict/set displays and comprehensions, and
+calls to ``list`` / ``dict`` / ``set`` / ``bytearray`` /
+``collections.defaultdict`` / ``collections.deque``.  The standard
+fix is ``arg=None`` plus ``arg = [] if arg is None else arg`` in the
+body (or a frozen/tuple default).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@register
+class MutableDefaultChecker(Checker):
+    CODE = "RPR006"
+    SUMMARY = "mutable default argument in a public API function"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            positional = [*args.posonlyargs, *args.args]
+            for arg, default in zip(
+                positional[len(positional) - len(args.defaults):],
+                args.defaults,
+            ):
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default for parameter {arg.arg!r} of "
+                        f"public function {node.name}() is shared across "
+                        "calls; default to None and construct inside",
+                    )
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None and _is_mutable_default(kw_default):
+                    yield self.finding(
+                        ctx, kw_default,
+                        f"mutable default for parameter {arg.arg!r} of "
+                        f"public function {node.name}() is shared across "
+                        "calls; default to None and construct inside",
+                    )

@@ -1,0 +1,88 @@
+"""Per-file analysis context shared by all checkers.
+
+One :class:`FileContext` is built per source file: the parsed tree,
+an import-resolution map, a child -> parent node index (the :mod:`ast`
+module only links downward) and a few questions every checker asks
+(enclosing function, whether a builtin name is shadowed, whether the
+file lives on an execution/cache path).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from .imports import ImportMap
+
+__all__ = ["FileContext"]
+
+
+class FileContext:
+    """Everything a checker may want to know about one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap.from_tree(tree)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._shadowed = self._collect_shadowed_builtins(tree)
+
+    @staticmethod
+    def _collect_shadowed_builtins(tree: ast.Module) -> frozenset[str]:
+        """Names rebound anywhere in the module (defs, assignments,
+        imports, parameters) -- a call to one of these is not a call
+        to the builtin of the same name."""
+        bound: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(node.id)
+            elif isinstance(node, ast.arg):
+                bound.add(node.arg)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+        return frozenset(bound)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Parents of ``node``, innermost first, module last."""
+        chain: list[ast.AST] = []
+        current = self._parents.get(node)
+        while current is not None:
+            chain.append(current)
+            current = self._parents.get(current)
+        return chain
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Innermost function definition containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def is_builtin(self, name: str) -> bool:
+        """Whether ``name`` still refers to the Python builtin here."""
+        return name not in self._shadowed
+
+    def on_exec_path(self) -> bool:
+        """Whether this file belongs to the execution/cache layer.
+
+        RPR004 treats everything under an ``exec`` package as
+        key/seed-sensitive: a wall-clock or entropy read there is one
+        refactor away from a cache key.
+        """
+        return "exec" in PurePath(self.path).parts

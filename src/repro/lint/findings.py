@@ -1,0 +1,64 @@
+"""The lint result model: :class:`Severity` and :class:`Finding`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the gate (non-zero exit); ``WARNING``
+    findings are reported but do not fail by themselves.  Every
+    shipped determinism checker emits ``ERROR`` -- nondeterminism in
+    a reproduction is a correctness bug, not a style preference.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One checker hit at a source location.
+
+    Ordering is (file, line, col, code) so reports are stable
+    regardless of checker registration or traversal order -- the
+    linter holds itself to the determinism bar it enforces.
+    """
+
+    file: str
+    line: int
+    col: int
+    code: str
+    # Excluded from ordering: enum members define no '<', and the code
+    # already determines the severity for every shipped checker.
+    severity: Severity = field(compare=False)
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: CODE [severity] message`` (text format)."""
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (used by ``--format json``)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+#: Code used for files that cannot be parsed at all.
+PARSE_ERROR_CODE = "RPR000"

@@ -1,0 +1,75 @@
+"""Name resolution for checkers: local names -> canonical dotted paths.
+
+Checkers want to ask "is this call ``numpy.random.shuffle``?" without
+caring whether the file spelled it ``np.random.shuffle``,
+``numpy.random.shuffle`` or ``from numpy.random import shuffle``.
+:class:`ImportMap` walks a module's import statements (at any nesting
+level -- this codebase imports lazily inside functions) and resolves
+``Name`` / ``Attribute`` expressions back to the canonical dotted path
+of whatever was imported.
+
+Only absolute imports resolve; relative imports (``from ..x import y``)
+map to ``?.x.y`` so they can never collide with a stdlib or third-party
+canonical name a checker matches against.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap"]
+
+
+class ImportMap:
+    """Maps local identifiers to the canonical dotted names they import."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        """Collect every import binding anywhere in ``tree``."""
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c``
+                    # binds ``c`` to the full path.
+                    target = alias.name if alias.asname else local
+                    imports._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:
+                    module = "?" * node.level + ("." + module if module else "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports._aliases[local] = f"{module}.{alias.name}"
+        return imports
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of ``node``, or None if not import-rooted.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``;
+        ``rand.shuffle`` resolves to None when ``rand`` is a plain
+        variable (so seeded :class:`random.Random` instances are never
+        mistaken for the module-level global API).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted path of a call's callee (or None)."""
+        return self.resolve(node.func)

@@ -1,0 +1,196 @@
+"""File discovery, checker execution, suppression and reporting.
+
+``lint_source`` is the core: parse one buffer, run every registered
+checker, drop findings waived by a same-line
+``# repro: allow-<code>`` comment -- and convert *unjustified*
+waivers into RPR999 findings so suppressions always carry a written
+reason.  ``lint_paths`` walks directories (skipping caches and hidden
+trees), and :func:`main` is the shared entry point behind both
+``python -m repro.lint`` and ``repro-rfc lint``.
+
+Exit status: 0 clean, 1 when error-severity findings remain, 2 on
+usage errors (no such path).  Unparseable files are reported as
+RPR000 rather than crashing the run, so one syntax error cannot hide
+findings elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .base import Checker, all_checkers
+from .context import FileContext
+from .findings import PARSE_ERROR_CODE, Finding, Severity
+from .suppressions import parse_suppressions
+
+__all__ = [
+    "UNJUSTIFIED_CODE",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "format_findings",
+    "main",
+]
+
+#: Code reported for an allow-comment with no written justification.
+UNJUSTIFIED_CODE = "RPR999"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache",
+                        ".pytest_cache", "build", "dist"})
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    checkers: Sequence[Checker] | None = None,
+) -> list[Finding]:
+    """Findings for one source buffer, suppression already applied."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                file=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                code=PARSE_ERROR_CODE,
+                severity=Severity.ERROR,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(filename, source, tree)
+    waivers = parse_suppressions(source)
+    active = list(all_checkers() if checkers is None else checkers)
+    findings: list[Finding] = []
+    used_waiver_lines: set[int] = set()
+    for checker in active:
+        for finding in checker.check(ctx):
+            waiver = waivers.get(finding.line)
+            if waiver is not None and finding.code in waiver.codes:
+                used_waiver_lines.add(finding.line)
+                continue
+            findings.append(finding)
+    for line, waiver in waivers.items():
+        if line in used_waiver_lines and not waiver.justified:
+            findings.append(
+                Finding(
+                    file=filename,
+                    line=line,
+                    col=1,
+                    code=UNJUSTIFIED_CODE,
+                    severity=Severity.ERROR,
+                    message=(
+                        "suppression without a written justification; use "
+                        "'# repro: allow-<code> -- <reason>'"
+                    ),
+                )
+            )
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path, checkers: Sequence[Checker] | None = None
+) -> list[Finding]:
+    """Findings for one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                file=str(path),
+                line=1,
+                col=1,
+                code=PARSE_ERROR_CODE,
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return lint_source(source, filename=str(path), checkers=checkers)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Python files under ``paths``, depth-first, sorted, caches skipped."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for sub in sorted(entry.iterdir()):
+                if sub.is_dir():
+                    if sub.name in _SKIP_DIRS or sub.name.startswith("."):
+                        continue
+                    yield from iter_python_files([sub])
+                elif sub.suffix == ".py":
+                    yield sub
+        elif entry.suffix == ".py" or entry.is_file():
+            yield entry
+
+
+def lint_paths(
+    paths: Iterable[str | Path], checkers: Sequence[Checker] | None = None
+) -> list[Finding]:
+    """Findings across files and directories, stably ordered."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, checkers=checkers))
+    return sorted(findings)
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one line each) or ``json``."""
+    if fmt == "json":
+        payload = {
+            "version": 1,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if not findings:
+        return "repro.lint: clean"
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"repro.lint: {len(findings)} finding"
+        f"{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism & reproducibility checks (RPR001-RPR006). "
+            "Exit 1 when findings remain, 2 on usage errors."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point shared by ``python -m repro.lint`` and the
+    ``repro-rfc lint`` subcommand."""
+    args = build_arg_parser().parse_args(argv)
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro.lint: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = lint_paths(args.paths)
+    print(format_findings(findings, fmt=args.format))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0

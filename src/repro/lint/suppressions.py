@@ -1,0 +1,62 @@
+"""Per-line waivers: ``# repro: allow-<code> -- <justification>``.
+
+A finding is suppressed when the physical line it is reported on
+carries an allow-comment naming its code (case-insensitive; several
+codes may be listed, comma-separated).  The convention is to follow
+the code with ``--`` and a written justification; the runner counts a
+bare waiver as a finding of its own (``RPR999``) so unexplained
+suppressions cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow-(?P<codes>[A-Za-z0-9]+(?:\s*,\s*[A-Za-z0-9]+)*)"
+    r"(?P<rest>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One allow-comment: which codes it waives and whether it says why."""
+
+    line: int
+    codes: frozenset[str]
+    justified: bool
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> :class:`Suppression` for every allow-comment.
+
+    Comments are found with :mod:`tokenize` (not regex-over-lines), so
+    a ``# repro: allow-...`` inside a string literal is never treated
+    as a waiver.  Unreadable trailing bytes simply end the scan; the
+    linter separately reports files it cannot parse.
+    """
+    found: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+            )
+            justified = bool(match.group("rest").strip(" -").strip())
+            found[tok.start[0]] = Suppression(
+                line=tok.start[0], codes=codes, justified=justified
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return found

@@ -1,0 +1,90 @@
+"""Regression tests for the set-iteration determinism fixes in
+``repro.core.expansion`` (found by ``repro.lint`` RPR003).
+
+``_splice_bipartite`` and ``expand_rrn`` both enumerate candidate
+edges out of ``set`` adjacency rows and then index that list with
+``rand.randrange``: before the fix, the *iteration order* of those
+sets -- which depends on insertion history and hash-table internals,
+not on the graph -- decided which links were broken.  Two logically
+identical inputs whose sets were merely built in a different order
+could expand differently under the same seed.
+
+The fixtures here use small colliding integers (0 and 8 share a slot
+in a small CPython set table, so ``{0, 8}`` and ``set([8, 0])``
+iterate differently) to make the hazard observable inside a single
+interpreter.
+"""
+
+import random
+
+import pytest
+
+from repro.core.expansion import RewiringReport, _splice_bipartite, expand_rrn
+from repro.topologies.rrn import random_regular_network
+
+
+def colliding_stage(order):
+    """One bipartite stage whose left rows iterate in ``order``'s
+    insertion order: 3 left vertices all wired to right vertices
+    {0, 8} of a 9-vertex right side."""
+    adj1 = [set(order) for _ in range(3)]
+    adj2 = [set() for _ in range(9)]
+    for left, row in enumerate(adj1):
+        for right in row:
+            adj2[right].add(left)
+    return adj1, adj2
+
+
+def test_colliding_sets_iterate_differently():
+    """Sanity check that the fixture exercises what it claims to."""
+    assert list({0, 8}) != list(set([8, 0]))
+    assert {0, 8} == set([8, 0])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_splice_is_insertion_order_invariant(seed):
+    results = []
+    for order in ([0, 8], [8, 0]):
+        adj1, adj2 = colliding_stage(order)
+        _splice_bipartite(
+            adj1, adj2, new_left=1, d1=2, new_right=1, d2=2,
+            rand=random.Random(seed), report=RewiringReport(),
+        )
+        results.append((adj1, adj2))
+    assert results[0] == results[1]
+
+
+def test_splice_same_seed_reproducible():
+    runs = []
+    for _ in range(2):
+        adj1, adj2 = colliding_stage([0, 8])
+        _splice_bipartite(
+            adj1, adj2, new_left=1, d1=2, new_right=1, d2=2,
+            rand=random.Random(42), report=RewiringReport(),
+        )
+        runs.append((adj1, adj2))
+    assert runs[0] == runs[1]
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_expand_rrn_same_seed_reproducible(seed):
+    net = random_regular_network(16, 4, hosts_per_switch=2, rng=5)
+    first, _ = expand_rrn(net, new_switches=3, rng=seed)
+    second, _ = expand_rrn(net, new_switches=3, rng=seed)
+    assert first.adjacency() == second.adjacency()
+
+
+def test_expansion_edge_enumeration_is_sorted():
+    """The candidate-edge lists the RNG indexes into must enumerate
+    each row in sorted order, so their layout is a function of the
+    graph alone (the property the RPR003 fix established)."""
+    net = random_regular_network(12, 4, hosts_per_switch=2, rng=9)
+    adj = [set(row) for row in net.adjacency()]
+    edges = [
+        (a, b) for a in range(len(adj)) for b in sorted(adj[a]) if a < b
+    ]
+    by_row = {}
+    for a, b in edges:
+        by_row.setdefault(a, []).append(b)
+    for row in by_row.values():
+        assert row == sorted(row)

@@ -1,0 +1,442 @@
+"""Fixture-snippet tests for every ``repro.lint`` checker code.
+
+Each code gets three cases: a snippet that must trip it (positive), a
+snippet exercising the same constructs safely (clean), and the
+positive snippet waived by a justified ``# repro: allow-<code>``
+comment (suppressed).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.runner import UNJUSTIFIED_CODE
+
+
+def findings_for(snippet: str, filename: str = "lib/mod.py"):
+    return lint_source(textwrap.dedent(snippet), filename=filename)
+
+
+def codes_for(snippet: str, filename: str = "lib/mod.py"):
+    return [f.code for f in findings_for(snippet, filename)]
+
+
+# One (positive, clean) snippet pair per code.  The positive snippet
+# carries exactly one violation, on the line marked ``# HIT`` (the
+# suppression test rewrites that marker into an allow-comment).
+CASES = {
+    "RPR001": (
+        """\
+        import random
+
+        def wire(items):
+            random.shuffle(items)  # HIT
+            return items
+        """,
+        """\
+        import random
+
+        def wire(items, rng=None):
+            rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+            rand.shuffle(items)
+            return items
+        """,
+    ),
+    "RPR002": (
+        """\
+        def lookup(cache, topo):
+            return cache.get(id(topo))  # HIT
+        """,
+        """\
+        def lookup(cache, digest):
+            return cache.get(digest)
+        """,
+    ),
+    "RPR003": (
+        """\
+        def enumerate_edges(adj: list[set[int]]):
+            return [(0, b) for b in adj[0]]  # HIT
+        """,
+        """\
+        def enumerate_edges(adj: list[set[int]]):
+            return [(0, b) for b in sorted(adj[0])]
+        """,
+    ),
+    "RPR004": (
+        """\
+        import time
+
+        def derive_seed(base: int) -> int:
+            return base + int(time.time())  # HIT
+        """,
+        """\
+        def derive_seed(base: int, index: int) -> int:
+            return base + 1_000_003 * index
+        """,
+    ),
+    "RPR005": (
+        """\
+        def fan_out(pool, items):
+            return list(pool.map(lambda x: x + 1, items))  # HIT
+        """,
+        """\
+        def double(x):
+            return x + x
+
+        def fan_out(pool, items):
+            return list(pool.map(double, items))
+        """,
+    ),
+    "RPR006": (
+        """\
+        def accumulate(x, acc=[]):  # HIT
+            acc.append(x)
+            return acc
+        """,
+        """\
+        def accumulate(x, acc=None):
+            acc = [] if acc is None else acc
+            acc.append(x)
+            return acc
+        """,
+    ),
+}
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+class TestEveryChecker:
+    def test_positive_hit(self, code):
+        positive, _ = CASES[code]
+        assert codes_for(positive) == [code]
+
+    def test_clean_pass(self, code):
+        _, clean = CASES[code]
+        assert codes_for(clean) == []
+
+    def test_suppressed_by_comment(self, code):
+        positive, _ = CASES[code]
+        waived = positive.replace(
+            "# HIT", f"# repro: allow-{code.lower()} -- fixture waiver"
+        )
+        assert codes_for(waived) == []
+
+    def test_unjustified_suppression_is_reported(self, code):
+        positive, _ = CASES[code]
+        waived = positive.replace("# HIT", f"# repro: allow-{code}")
+        assert codes_for(waived) == [UNJUSTIFIED_CODE]
+
+
+class TestRpr001Variants:
+    def test_numpy_legacy_global(self):
+        assert codes_for(
+            """\
+            import numpy as np
+
+            def draw(n):
+                return np.random.randint(0, n)
+            """
+        ) == ["RPR001"]
+
+    def test_bare_default_rng(self):
+        assert codes_for(
+            """\
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng()
+            """
+        ) == ["RPR001"]
+
+    def test_seeded_default_rng_clean(self):
+        assert codes_for(
+            """\
+            from numpy.random import default_rng
+
+            def make(seed):
+                return default_rng(seed)
+            """
+        ) == []
+
+    def test_bare_random_constructor(self):
+        assert codes_for(
+            """\
+            import random
+
+            def make():
+                return random.Random()
+            """
+        ) == ["RPR001"]
+
+    def test_from_import_global_function(self):
+        assert codes_for(
+            """\
+            from random import shuffle
+
+            def wire(items):
+                shuffle(items)
+            """
+        ) == ["RPR001"]
+
+    def test_instance_draws_clean(self):
+        assert codes_for(
+            """\
+            import random
+
+            def wire(items, rand: random.Random):
+                rand.shuffle(items)
+                return rand.randrange(4)
+            """
+        ) == []
+
+
+class TestRpr002Variants:
+    def test_subscript_key(self):
+        assert codes_for(
+            """\
+            def memo(table, obj, value):
+                table[id(obj)] = value
+            """
+        ) == ["RPR002"]
+
+    def test_seed_keyword(self):
+        assert codes_for(
+            """\
+            def run(sim, cfg):
+                return sim(seed=hash(cfg))
+            """
+        ) == ["RPR002"]
+
+    def test_sort_key_lambda(self):
+        assert codes_for(
+            """\
+            def order(items):
+                return sorted(items, key=hash)  # benign: key not a call
+            """
+        ) == []
+
+    def test_logging_use_clean(self):
+        assert codes_for(
+            """\
+            def describe(obj):
+                return f"object at {id(obj)}"
+            """
+        ) == []
+
+    def test_shadowed_builtin_clean(self):
+        assert codes_for(
+            """\
+            def lookup(cache, id):
+                return cache.get(id)
+            """
+        ) == []
+
+
+class TestRpr003Variants:
+    def test_for_loop_append(self):
+        assert codes_for(
+            """\
+            def collect(seen: set[int]):
+                out = []
+                for item in seen:
+                    out.append(item)
+                return out
+            """
+        ) == ["RPR003"]
+
+    def test_for_loop_rng_draw(self):
+        assert codes_for(
+            """\
+            def draw(seen: set[int], rand):
+                for item in seen:
+                    if rand.random() < 0.5:
+                        return item
+                return None
+            """
+        ) == ["RPR003"]
+
+    def test_membership_scan_clean(self):
+        assert codes_for(
+            """\
+            def has_pair(avail: set[int], banned: set[int]):
+                for a in avail:
+                    if a not in banned:
+                        return True
+                return False
+            """
+        ) == []
+
+    def test_order_free_reducers_clean(self):
+        assert codes_for(
+            """\
+            def measure(seen: set[int]):
+                total = sum(x for x in seen)
+                biggest = max(x for x in seen)
+                fine = all(x >= 0 for x in seen)
+                return total, biggest, fine
+            """
+        ) == []
+
+    def test_container_of_sets_assignment(self):
+        assert codes_for(
+            """\
+            def edges(rows):
+                adj = [set(row) for row in rows]
+                return [(a, b) for a in range(len(adj)) for b in adj[a]]
+            """
+        ) == ["RPR003"]
+
+    def test_sorted_wrapper_clean(self):
+        assert codes_for(
+            """\
+            def edges(rows):
+                adj = [set(row) for row in rows]
+                return [
+                    (a, b) for a in range(len(adj)) for b in sorted(adj[a])
+                ]
+            """
+        ) == []
+
+
+class TestRpr004Variants:
+    def test_exec_path_is_always_scoped(self):
+        snippet = """\
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert codes_for(snippet, filename="src/repro/exec/cache.py") == [
+            "RPR004"
+        ]
+        assert codes_for(snippet, filename="src/repro/graphs/metrics.py") == []
+
+    def test_perf_counter_allowed_on_exec_path(self):
+        assert codes_for(
+            """\
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            filename="src/repro/exec/executor.py",
+        ) == []
+
+    def test_urandom_in_key_function(self):
+        assert codes_for(
+            """\
+            import os
+
+            def cache_key(topo):
+                return topo + os.urandom(4).hex()
+            """
+        ) == ["RPR004"]
+
+
+class TestRpr005Variants:
+    def test_nested_function(self):
+        assert codes_for(
+            """\
+            def run(pool, items):
+                def work(x):
+                    return x + 1
+                return list(pool.map(work, items))
+            """
+        ) == ["RPR005"]
+
+    def test_partial_over_lambda(self):
+        assert codes_for(
+            """\
+            from functools import partial
+
+            def run(pool, items):
+                return pool.submit(partial(lambda x, y: x + y, 1), items)
+            """
+        ) == ["RPR005"]
+
+    def test_builtin_map_clean(self):
+        assert codes_for(
+            """\
+            def run(items):
+                return list(map(lambda x: x + 1, items))
+            """
+        ) == []
+
+    def test_module_level_function_clean(self):
+        assert codes_for(
+            """\
+            def work(x):
+                return x + 1
+
+            def run(pool, items):
+                return list(pool.map(work, items))
+            """
+        ) == []
+
+
+class TestRpr006Variants:
+    def test_keyword_only_default(self):
+        assert codes_for(
+            """\
+            def api(x, *, acc={}):
+                return acc
+            """
+        ) == ["RPR006"]
+
+    def test_private_function_clean(self):
+        assert codes_for(
+            """\
+            def _helper(x, acc=[]):
+                acc.append(x)
+                return acc
+            """
+        ) == []
+
+    def test_immutable_defaults_clean(self):
+        assert codes_for(
+            """\
+            def api(x, pair=(), label="", limit=0):
+                return x, pair, label, limit
+            """
+        ) == []
+
+
+class TestFramework:
+    def test_parse_error_reported_not_raised(self):
+        findings = findings_for("def broken(:\n    pass\n")
+        assert [f.code for f in findings] == ["RPR000"]
+
+    def test_findings_sorted_and_located(self):
+        findings = findings_for(
+            """\
+            import random
+
+            def b(items):
+                random.shuffle(items)
+
+            def a(x, acc=[]):
+                return acc
+            """
+        )
+        assert [f.code for f in findings] == ["RPR001", "RPR006"]
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert all(f.file == "lib/mod.py" for f in findings)
+
+    def test_suppression_inside_string_is_ignored(self):
+        snippet = """\
+        import random
+
+        MESSAGE = "# repro: allow-RPR001 -- not a comment"
+
+        def wire(items):
+            random.shuffle(items)
+        """
+        assert codes_for(snippet) == ["RPR001"]
+
+    def test_multi_code_waiver(self):
+        snippet = """\
+        def api(cache, obj, acc=[]):  # repro: allow-RPR006, RPR002 -- fixture
+            acc.append(cache.get(id(obj)))  # repro: allow-RPR002 -- fixture
+            return acc
+        """
+        assert codes_for(snippet) == []
