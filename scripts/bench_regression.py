@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Engine performance regression harness -> BENCH_engine.json.
+
+Runs a fixed-seed, fixed-topology load sweep three ways -- bare,
+metrics-instrumented, and metrics+trace -- and records simulated
+cycles per wall-second, delivered packets per second, peak RSS and the
+observability overhead percentages.  The JSON output gives future PRs
+a perf trajectory: run before and after an engine change and compare
+``cycles_per_sec``.
+
+    PYTHONPATH=src python scripts/bench_regression.py [--out PATH]
+        [--repeats N] [--quick]
+
+The workload numbers are deterministic (fixed seeds); the timings are
+hardware-dependent, so compare ratios on one machine, not absolute
+values across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.rfc import rfc_with_updown  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsObserver,
+    MultiObserver,
+    TraceWriter,
+    TracingObserver,
+)
+from repro.simulation.config import SimulationParams  # noqa: E402
+from repro.simulation.engine import Simulator  # noqa: E402
+from repro.simulation.traffic import make_traffic  # noqa: E402
+
+
+def _run_once(topo, params, load: float, observer=None):
+    traffic = make_traffic("uniform", topo.num_terminals, rng=params.seed + 7_919)
+    sim = Simulator(topo, traffic, load, params, observer=observer)
+    start = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - start
+
+
+def bench(repeats: int, quick: bool) -> dict:
+    topo, _ = rfc_with_updown(8, 32, 3, rng=11)
+    params = SimulationParams(
+        measure_cycles=1_000 if quick else 4_000,
+        warmup_cycles=250 if quick else 1_000,
+        seed=5,
+    )
+    load = 0.7
+    modes: dict[str, dict] = {}
+
+    for mode in ("bare", "metrics", "metrics+trace"):
+        elapsed = 0.0
+        delivered = 0
+        checksum = None
+        for rep in range(repeats):
+            observer = None
+            writer = None
+            if mode == "metrics":
+                observer = MetricsObserver()
+            elif mode == "metrics+trace":
+                tmp = tempfile.NamedTemporaryFile(
+                    suffix=".jsonl", delete=False
+                )
+                tmp.close()
+                writer = TraceWriter(tmp.name)
+                observer = MultiObserver(
+                    [MetricsObserver(), TracingObserver(writer)]
+                )
+            result, wall = _run_once(topo, params, load, observer)
+            if writer is not None:
+                writer.close()
+                Path(writer.path).unlink(missing_ok=True)
+            elapsed += wall
+            delivered += result.delivered_packets
+            # All modes must agree bit-for-bit; a mismatch means the
+            # observer perturbed the engine.
+            sig = (result.accepted_load, result.avg_latency,
+                   result.delivered_packets)
+            if checksum is None:
+                checksum = sig
+            elif checksum != sig:
+                raise AssertionError(f"non-deterministic repeat in {mode}")
+            modes.setdefault(mode, {})["signature"] = list(checksum)
+        cycles = params.horizon * repeats
+        modes[mode].update(
+            {
+                "wall_seconds": round(elapsed, 4),
+                "cycles_per_sec": round(cycles / elapsed, 1),
+                "delivered_packets_per_sec": round(delivered / elapsed, 1),
+            }
+        )
+
+    bare = modes["bare"]["cycles_per_sec"]
+    for mode in ("metrics", "metrics+trace"):
+        modes[mode]["overhead_pct"] = round(
+            100.0 * (bare - modes[mode]["cycles_per_sec"]) / bare, 2
+        )
+
+    signatures = {m: modes[m].pop("signature") for m in modes}
+    if len({tuple(s) for s in signatures.values()}) != 1:
+        raise AssertionError(
+            f"observer modes disagree on results: {signatures}"
+        )
+
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "benchmark": "engine",
+        "config": {
+            "topology": topo.name,
+            "terminals": topo.num_terminals,
+            "load": load,
+            "horizon": params.horizon,
+            "repeats": repeats,
+            "seed": params.seed,
+        },
+        "result_signature": signatures["bare"],
+        "modes": modes,
+        "peak_rss_kb": peak_rss_kb,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent
+                             / "BENCH_engine.json"),
+        help="output path (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter runs (CI smoke)")
+    args = parser.parse_args(argv)
+
+    payload = bench(repeats=max(1, args.repeats), quick=args.quick)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+    bare = payload["modes"]["bare"]
+    print(f"engine: {bare['cycles_per_sec']:,.0f} cycles/sec bare, "
+          f"metrics overhead {payload['modes']['metrics']['overhead_pct']}%, "
+          f"metrics+trace overhead "
+          f"{payload['modes']['metrics+trace']['overhead_pct']}%, "
+          f"peak RSS {payload['peak_rss_kb']:,} kB")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

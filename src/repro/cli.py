@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cycles", type=int, default=2_000)
     sim.add_argument("--warmup", type=int, default=500)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a JSONL event trace (inject/hop/eject/"
+                          "drop) to PATH")
+    sim.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the run's metrics registry (queue/credit "
+                          "histograms, per-link loads, latency "
+                          "percentiles) as JSON to PATH")
 
     exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
     exp.add_argument("name", help="experiment id (fig5, tab3, ...) or 'all'")
@@ -83,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "warm re-runs skip already-simulated points")
     exp.add_argument("--no-cache", action="store_true",
                      help="ignore --cache-dir (recompute everything)")
+    exp.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="collect engine metrics on every simulated "
+                          "point and write the merged per-scenario "
+                          "exports as JSON to PATH")
 
     sub.add_parser("scenarios", help="print the Section 5 cost scenarios")
 
@@ -194,7 +205,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
     from .core.rfc import rfc_with_updown
+    from .obs import (
+        MetricsObserver,
+        MultiObserver,
+        TraceWriter,
+        TracingObserver,
+    )
     from .simulation.config import SimulationParams
     from .simulation.engine import simulate
     from .simulation.traffic import make_traffic
@@ -212,22 +232,57 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     traffic = make_traffic(args.traffic, topo.num_terminals,
                            rng=args.seed + 101)
-    result = simulate(topo, traffic, args.load, params)
+
+    observers = []
+    metrics_obs = writer = None
+    if args.metrics_out:
+        metrics_obs = MetricsObserver()
+        observers.append(metrics_obs)
+    if args.trace:
+        writer = TraceWriter(args.trace)
+        observers.append(TracingObserver(writer))
+    observer = None
+    if len(observers) == 1:
+        observer = observers[0]
+    elif observers:
+        observer = MultiObserver(observers)
+
+    result = simulate(topo, traffic, args.load, params, observer=observer)
     print(result.row())
     print(f"  delivered {result.delivered_packets:,} packets, "
           f"avg hops {result.avg_hops:.2f}, "
           f"max latency {result.max_latency}")
+    if writer is not None:
+        writer.close()
+        print(f"  trace: {writer.written:,} events -> {args.trace}"
+              + (f" ({writer.dropped:,} dropped)" if writer.dropped else ""))
+    if metrics_obs is not None:
+        export = metrics_obs.export()
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(export, indent=1, sort_keys=True))
+        counters = export["counters"]
+        print(f"  metrics: {counters.get('inject.packets', 0):,} injected / "
+              f"{counters.get('eject.packets', 0):,} ejected -> "
+              f"{args.metrics_out}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
     from pathlib import Path
 
+    from . import obs
     from .exec import using_executor
     from .experiments import EXPERIMENTS, run_experiment
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
-    with using_executor(
+    metrics_scope = (
+        obs.using_metrics(True) if args.metrics_out
+        else contextlib.nullcontext()
+    )
+    with metrics_scope, using_executor(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
@@ -240,6 +295,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 directory = Path(args.csv)
                 directory.mkdir(parents=True, exist_ok=True)
                 (directory / f"{name}.csv").write_text(table.to_csv())
+        if args.metrics_out:
+            path = Path(args.metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            exports = obs.collected()
+            path.write_text(json.dumps(exports, indent=1, sort_keys=True))
+            print(f"metrics: {len(exports)} sweep export(s) -> {path}")
     return 0
 
 

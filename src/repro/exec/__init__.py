@@ -32,12 +32,13 @@ import contextlib
 from pathlib import Path
 
 from .cache import CACHE_FORMAT, CODE_VERSION, ResultCache, cache_key, topology_digest
-from .executor import ExecReport, Executor, SimTask
+from .executor import ExecReport, Executor, SimTask, merged_metrics
 
 __all__ = [
     "Executor",
     "ExecReport",
     "SimTask",
+    "merged_metrics",
     "ResultCache",
     "cache_key",
     "topology_digest",

@@ -124,10 +124,14 @@ class ResultCache:
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            # Observability metrics are a side channel, not part of the
+            # simulated result: strip them so entries keep the pre-obs
+            # byte layout and instrumented runs share entries with bare
+            # ones.
             payload = {
                 "format": CACHE_FORMAT,
                 "code": CODE_VERSION,
-                "result": dataclasses.asdict(result),
+                "result": result.core_dict(),
             }
             tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
             tmp.write_text(json.dumps(payload))

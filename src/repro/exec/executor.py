@@ -23,6 +23,7 @@ with identical results.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -36,7 +37,18 @@ from ..simulation.traffic import make_traffic
 from ..topologies.base import DirectNetwork, FoldedClos, Link
 from .cache import ResultCache, cache_key, topology_digest
 
-__all__ = ["SimTask", "ExecReport", "Executor"]
+__all__ = ["SimTask", "ExecReport", "Executor", "merged_metrics"]
+
+
+def merged_metrics(results: Iterable[SimResult]) -> dict:
+    """Aggregate the per-worker metrics of a batch's results.
+
+    Results without metrics (bare tasks, cache hits) are skipped; see
+    :func:`repro.obs.merge_metrics` for the merge semantics.
+    """
+    from ..obs import merge_metrics
+
+    return merge_metrics(r.metrics for r in results if r.metrics)
 
 
 @dataclass(frozen=True)
@@ -47,6 +59,13 @@ class SimTask:
     traffic pattern inside the worker (stateful patterns must never be
     shared across points -- rebuilding from the integer seed is what
     makes execution order irrelevant).
+
+    ``collect_metrics`` attaches a per-worker
+    :class:`~repro.obs.hooks.MetricsObserver` and ships its export back
+    inside ``SimResult.metrics``.  It deliberately does NOT enter the
+    cache key -- observation cannot change the simulated numbers -- but
+    collecting tasks skip the cache *read* so their metrics are always
+    present (they still warm the cache for later bare runs).
     """
 
     topo: FoldedClos | DirectNetwork
@@ -55,6 +74,7 @@ class SimTask:
     params: SimulationParams
     traffic_seed: int
     removed_links: tuple[Link, ...] | None = None
+    collect_metrics: bool = False
 
 
 def _execute(task: SimTask) -> tuple[SimResult, float]:
@@ -64,9 +84,17 @@ def _execute(task: SimTask) -> tuple[SimResult, float]:
     traffic = make_traffic(
         task.traffic_name, task.topo.num_terminals, rng=task.traffic_seed
     )
+    observer = None
+    if task.collect_metrics:
+        from ..obs import MetricsObserver
+
+        observer = MetricsObserver()
     result = simulate(
-        task.topo, traffic, task.load, task.params, task.removed_links
+        task.topo, traffic, task.load, task.params, task.removed_links,
+        observer=observer,
     )
+    if observer is not None:
+        result = dataclasses.replace(result, metrics=observer.export())
     return result, time.perf_counter() - start
 
 
@@ -140,6 +168,11 @@ class Executor:
                     task.traffic_seed,
                     task.removed_links,
                 )
+                if task.collect_metrics:
+                    # Cached entries carry no metrics; recompute so the
+                    # observer export is present (the put below still
+                    # warms the cache for later bare runs).
+                    continue
                 cached = self.cache.get(keys[i])
                 if cached is not None:
                     results[i] = cached

@@ -117,9 +117,11 @@ def run_scenario(
     ``seed + 101`` exactly as the serial loop always has, so the table
     is bit-for-bit independent of worker count and scheduling.
     """
-    from ..exec import get_executor
+    from .. import obs
+    from ..exec import get_executor, merged_metrics
     from ..exec.executor import SimTask
 
+    collect = obs.metrics_enabled()
     networks = build_networks(scenario_name, quick=quick, seed=seed)
     if loads is None:
         loads = [0.3, 0.6, 0.9] if quick else [0.2, 0.5, 0.8, 1.0]
@@ -153,12 +155,15 @@ def run_scenario(
             load=load,
             params=params,
             traffic_seed=seed + 101,
+            collect_metrics=collect,
         )
         for traffic_name in traffics
         for load in loads
         for _, net in networks.all()
     ]
     results, report = runner.run_sim_tasks(tasks)
+    if collect:
+        obs.record(f"scenario:{scenario_name}", merged_metrics(results))
 
     point = iter(results)
     for traffic_name in traffics:

@@ -1,0 +1,115 @@
+"""Simulator observability: metrics, event hooks and JSONL tracing.
+
+``repro.obs`` makes the cycle-level engine explainable without making
+it slower when nobody is looking:
+
+* :mod:`repro.obs.metrics` -- typed ``Counter`` / ``Gauge`` /
+  ``Histogram`` / ``TimeSeries`` primitives behind a registry with
+  deterministic (sorted-key) export and cross-worker merging;
+* :mod:`repro.obs.hooks` -- the observer protocol the engine calls
+  (``on_inject`` / ``on_hop`` / ``on_arbitrate`` / ``on_eject`` /
+  ``on_drop``) plus ready-made metrics and tracing observers;
+* :mod:`repro.obs.trace` -- bounded-buffer JSONL trace writer.
+
+The engine takes an ``observer`` argument; ``None`` (the default)
+costs one pointer test per event and changes nothing -- instrumented
+and bare runs produce bit-for-bit identical :class:`SimResult`\\ s.
+
+For sweeps that run through :mod:`repro.exec`, an **ambient switch**
+turns metrics collection on for every task a harness builds::
+
+    import repro.obs as obs
+
+    obs.configure(metrics=True)
+    table = run_experiment("fig8")        # every point carries metrics
+    obs.collected()                       # merged per-scenario exports
+
+The ambient default is off, so importing this package changes nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .hooks import MetricsObserver, MultiObserver, SimObserver, TracingObserver
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    merge_metrics,
+)
+from .trace import TraceWriter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "merge_metrics",
+    "SimObserver",
+    "MetricsObserver",
+    "TracingObserver",
+    "MultiObserver",
+    "TraceWriter",
+    "configure",
+    "metrics_enabled",
+    "using_metrics",
+    "record",
+    "collected",
+    "reset",
+]
+
+_metrics_enabled = False
+_collected: dict[str, dict] = {}
+
+
+def configure(metrics: bool = False) -> None:
+    """Set the ambient metrics switch (and clear previous collections)."""
+    global _metrics_enabled
+    _metrics_enabled = bool(metrics)
+    _collected.clear()
+
+
+def metrics_enabled() -> bool:
+    """Whether harnesses should build metrics-collecting tasks."""
+    return _metrics_enabled
+
+
+@contextlib.contextmanager
+def using_metrics(enabled: bool = True):
+    """Temporarily flip the ambient metrics switch."""
+    global _metrics_enabled
+    previous, previous_collected = _metrics_enabled, dict(_collected)
+    _metrics_enabled = bool(enabled)
+    _collected.clear()
+    try:
+        yield
+    finally:
+        _metrics_enabled = previous
+        _collected.clear()
+        _collected.update(previous_collected)
+
+
+def record(label: str, export: dict) -> None:
+    """Deposit one merged metrics export under ``label``.
+
+    Harnesses call this once per sweep; repeated labels merge.
+    """
+    if label in _collected:
+        _collected[label] = merge_metrics([_collected[label], export])
+    else:
+        _collected[label] = export
+
+
+def collected() -> dict[str, dict]:
+    """Everything recorded since the last :func:`configure`/:func:`reset`,
+    with labels sorted for deterministic serialization."""
+    return {label: _collected[label] for label in sorted(_collected)}
+
+
+def reset() -> None:
+    """Drop all recorded metrics (the ambient switch is untouched)."""
+    _collected.clear()

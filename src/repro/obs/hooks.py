@@ -1,0 +1,312 @@
+"""Event-hook protocol between the simulator and observers.
+
+:class:`~repro.simulation.engine.Simulator` accepts one observer and
+invokes these hooks at the five places where simulated state changes:
+
+==================  ====================================================
+``on_inject``       a generated packet entered its source queue
+``on_drop``         a generated packet had no route (counted, discarded)
+``on_arbitrate``    one switch finished an arbitration pass
+``on_hop``          a packet was granted a switch-to-switch link
+``on_eject``        a packet was delivered to its destination terminal
+==================  ====================================================
+
+plus ``on_run_start`` / ``on_run_end`` bracketing the run.  Hooks are
+pure observation: they receive engine state but must not mutate it and
+must not consume randomness, which is what keeps an instrumented run
+bit-for-bit identical to a bare one (enforced by tests).
+
+:class:`SimObserver` is the no-op base; :class:`MetricsObserver` fills
+a :class:`~repro.obs.metrics.MetricsRegistry`; :class:`TracingObserver`
+streams JSONL events through a :class:`~repro.obs.trace.TraceWriter`;
+:class:`MultiObserver` fans one engine out to several observers.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import TraceWriter
+
+__all__ = [
+    "SimObserver",
+    "MetricsObserver",
+    "TracingObserver",
+    "MultiObserver",
+]
+
+
+class SimObserver:
+    """No-op base class; override the hooks you need."""
+
+    def on_run_start(self, sim) -> None:
+        """Called once before the event loop; ``sim`` is the engine."""
+
+    def on_inject(self, time: int, packet, queue_len: int) -> None:
+        """Packet appended to its source queue (depth ``queue_len``)."""
+
+    def on_drop(self, time: int, terminal: int, packet) -> None:
+        """Packet discarded as unroutable at generation time."""
+
+    def on_arbitrate(
+        self, time: int, switch: int, requests: int, grants: int
+    ) -> None:
+        """One arbitration pass at ``switch`` matched
+        ``grants`` of ``requests`` requests."""
+
+    def on_hop(
+        self,
+        time: int,
+        packet,
+        src: int,
+        dst: int,
+        vc: int,
+        credits_left: int,
+        queue_len: int,
+    ) -> None:
+        """Packet granted the ``src -> dst`` link into VC ``vc``
+        (``credits_left`` buffer slots remain; the downstream VC queue
+        now holds ``queue_len`` packets)."""
+
+    def on_eject(self, time: int, packet, latency: int, phits: int) -> None:
+        """Packet delivered; ``latency`` is generation-to-tail cycles."""
+
+    def on_run_end(self, sim, result) -> None:
+        """Called once after the event loop with the final result."""
+
+
+class MetricsObserver(SimObserver):
+    """Populates a metrics registry from the hook stream.
+
+    Captured metrics (names are stable API, see docs/OBSERVABILITY.md):
+
+    * counters: packet/event counts, arbitration totals, and per-link
+      delivered phits (``link.<src>-><dst>``, the Jellyfish-style
+      link-load distribution);
+    * histograms: source-queue and VC-queue occupancy, VC credits at
+      grant time, packet latency and hop counts;
+    * time series: injected packets, delivered phits, link phits
+      per cycle bucket, and per-stage utilization for folded Clos
+      (``ts.stage.<lo>-><hi>``).
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, ts_buckets: int = 100
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.ts_buckets = ts_buckets
+        self._width = 100
+        self._phits = 1
+        self._level_of: list[int] | None = None
+
+    def on_run_start(self, sim) -> None:
+        params = sim.params
+        self._phits = params.packet_phits
+        self._width = max(1, params.horizon // self.ts_buckets)
+        self._level_of = getattr(sim, "level_of", None)
+
+    def on_inject(self, time: int, packet, queue_len: int) -> None:
+        reg = self.registry
+        reg.counter("inject.packets").inc()
+        reg.histogram("queue.inject_occupancy").observe(queue_len)
+        reg.timeseries("ts.injected_packets", self._width).add(time)
+
+    def on_drop(self, time: int, terminal: int, packet) -> None:
+        self.registry.counter("drop.unroutable").inc()
+
+    def on_arbitrate(
+        self, time: int, switch: int, requests: int, grants: int
+    ) -> None:
+        reg = self.registry
+        reg.counter("arb.passes").inc()
+        reg.counter("arb.requests").inc(requests)
+        reg.counter("arb.grants").inc(grants)
+
+    def on_hop(
+        self,
+        time: int,
+        packet,
+        src: int,
+        dst: int,
+        vc: int,
+        credits_left: int,
+        queue_len: int,
+    ) -> None:
+        reg = self.registry
+        reg.counter("hop.count").inc()
+        reg.counter(f"link.{src}->{dst}").inc(self._phits)
+        reg.histogram("vc.credits_at_grant").observe(credits_left)
+        reg.histogram("queue.vc_occupancy").observe(queue_len)
+        reg.timeseries("ts.link_phits", self._width).add(time, self._phits)
+        if self._level_of is not None:
+            lo, hi = self._level_of[src], self._level_of[dst]
+            reg.timeseries(f"ts.stage.{lo}->{hi}", self._width).add(
+                time, self._phits
+            )
+
+    def on_eject(self, time: int, packet, latency: int, phits: int) -> None:
+        reg = self.registry
+        reg.counter("eject.packets").inc()
+        reg.histogram("latency.packet").observe(latency)
+        reg.histogram("hops.packet").observe(packet.hops)
+        reg.timeseries("ts.delivered_phits", self._width).add(time, phits)
+
+    def export(self) -> dict:
+        """The registry snapshot (sorted, JSON-ready)."""
+        return self.registry.export()
+
+
+class TracingObserver(SimObserver):
+    """Streams one JSONL record per event through a trace writer.
+
+    ``include_arb`` adds per-pass arbitration records (high volume; off
+    by default).  The writer is owned by the caller, who is responsible
+    for closing it -- or use :meth:`close` for convenience.
+    """
+
+    def __init__(self, writer: TraceWriter, include_arb: bool = False) -> None:
+        self.writer = writer
+        self.include_arb = include_arb
+
+    def on_run_start(self, sim) -> None:
+        self.writer.emit(
+            {
+                "ev": "run_start",
+                "t": 0,
+                "topology": sim.topo.name,
+                "traffic": sim.traffic.name,
+                "load": sim.load,
+                "seed": sim.params.seed,
+                "horizon": sim.params.horizon,
+            }
+        )
+
+    def on_inject(self, time: int, packet, queue_len: int) -> None:
+        self.writer.emit(
+            {
+                "ev": "inject",
+                "t": time,
+                "p": packet.serial,
+                "src": packet.src,
+                "dst": packet.dst,
+                "q": queue_len,
+            }
+        )
+
+    def on_drop(self, time: int, terminal: int, packet) -> None:
+        self.writer.emit(
+            {
+                "ev": "drop",
+                "t": time,
+                "p": packet.serial,
+                "src": packet.src,
+                "dst": packet.dst,
+            }
+        )
+
+    def on_arbitrate(
+        self, time: int, switch: int, requests: int, grants: int
+    ) -> None:
+        if self.include_arb:
+            self.writer.emit(
+                {
+                    "ev": "arb",
+                    "t": time,
+                    "sw": switch,
+                    "req": requests,
+                    "grant": grants,
+                }
+            )
+
+    def on_hop(
+        self,
+        time: int,
+        packet,
+        src: int,
+        dst: int,
+        vc: int,
+        credits_left: int,
+        queue_len: int,
+    ) -> None:
+        self.writer.emit(
+            {
+                "ev": "hop",
+                "t": time,
+                "p": packet.serial,
+                "src": src,
+                "dst": dst,
+                "vc": vc,
+            }
+        )
+
+    def on_eject(self, time: int, packet, latency: int, phits: int) -> None:
+        self.writer.emit(
+            {
+                "ev": "eject",
+                "t": time,
+                "p": packet.serial,
+                "dst": packet.dst,
+                "lat": latency,
+                "hops": packet.hops,
+            }
+        )
+
+    def on_run_end(self, sim, result) -> None:
+        self.writer.emit(
+            {
+                "ev": "run_end",
+                "t": sim.params.horizon,
+                "generated": result.generated_packets,
+                "delivered": result.delivered_packets,
+                "accepted_load": result.accepted_load,
+                "unroutable": result.unroutable_packets,
+            }
+        )
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class MultiObserver(SimObserver):
+    """Fans every hook out to an ordered list of observers."""
+
+    def __init__(self, observers: list[SimObserver]) -> None:
+        self.observers = list(observers)
+
+    def on_run_start(self, sim) -> None:
+        for obs in self.observers:
+            obs.on_run_start(sim)
+
+    def on_inject(self, time: int, packet, queue_len: int) -> None:
+        for obs in self.observers:
+            obs.on_inject(time, packet, queue_len)
+
+    def on_drop(self, time: int, terminal: int, packet) -> None:
+        for obs in self.observers:
+            obs.on_drop(time, terminal, packet)
+
+    def on_arbitrate(
+        self, time: int, switch: int, requests: int, grants: int
+    ) -> None:
+        for obs in self.observers:
+            obs.on_arbitrate(time, switch, requests, grants)
+
+    def on_hop(
+        self,
+        time: int,
+        packet,
+        src: int,
+        dst: int,
+        vc: int,
+        credits_left: int,
+        queue_len: int,
+    ) -> None:
+        for obs in self.observers:
+            obs.on_hop(time, packet, src, dst, vc, credits_left, queue_len)
+
+    def on_eject(self, time: int, packet, latency: int, phits: int) -> None:
+        for obs in self.observers:
+            obs.on_eject(time, packet, latency, phits)
+
+    def on_run_end(self, sim, result) -> None:
+        for obs in self.observers:
+            obs.on_run_end(sim, result)

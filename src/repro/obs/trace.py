@@ -1,0 +1,92 @@
+"""Bounded-buffer JSONL trace writer.
+
+One trace record per simulator event, one JSON object per line, in
+event order.  Records buffer in memory and flush to disk every
+``buffer_records`` lines, so tracing a multi-million-event run costs
+O(buffer) memory and sequential appends only.  ``max_records`` caps the
+file size; records beyond the cap are counted in :attr:`dropped`, never
+silently lost from the accounting.
+
+The schema is flat and self-describing -- every record carries an
+``ev`` (event kind) and ``t`` (cycle) field; the remaining fields
+depend on the kind (see ``docs/OBSERVABILITY.md``).  Keys are written
+sorted so identical runs produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["TraceWriter"]
+
+
+class TraceWriter:
+    """Append-only JSONL sink with bounded in-memory buffering.
+
+    Usable as a context manager; :meth:`close` flushes the tail.  A
+    ``path`` of ``None`` keeps every record in memory (up to
+    ``max_records``) for tests and programmatic consumption via
+    :meth:`records`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None,
+        buffer_records: int = 1024,
+        max_records: int = 1_000_000,
+    ) -> None:
+        if buffer_records < 1:
+            raise ValueError("buffer_records must be positive")
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.path = Path(path) if path is not None else None
+        self.buffer_records = buffer_records
+        self.max_records = max_records
+        self.written = 0
+        self.dropped = 0
+        self._buffer: list[str] = []
+        self._memory: list[dict] = []
+        self._closed = False
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Truncate: one writer owns one trace file.
+            self.path.write_text("")
+
+    def emit(self, record: dict) -> None:
+        """Queue one record; drops (and counts) past ``max_records``."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        if self.written + len(self._buffer) >= self.max_records:
+            self.dropped += 1
+            return
+        if self.path is None:
+            self._memory.append(record)
+            self.written += 1
+            return
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        if len(self._buffer) >= self.buffer_records:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines through to disk."""
+        if not self._buffer or self.path is None:
+            return
+        with self.path.open("a") as fh:
+            fh.write("\n".join(self._buffer) + "\n")
+        self.written += len(self._buffer)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        self._closed = True
+
+    def records(self) -> list[dict]:
+        """In-memory records (memory mode only)."""
+        return list(self._memory)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -38,6 +38,7 @@ import random
 from collections import deque
 from typing import Iterable
 
+from ..obs.hooks import SimObserver
 from ..routing.table import EcmpTableRouter
 from ..routing.updown import UpDownRouter
 from ..topologies.base import DirectNetwork, FoldedClos, Link
@@ -59,6 +60,13 @@ class Simulator:
     (both directions) before the run; routing tables are computed on
     the pruned network, and packets whose pair has lost every up/down
     route are dropped and counted in :attr:`unroutable_packets`.
+
+    ``observer`` attaches a :class:`~repro.obs.hooks.SimObserver` whose
+    hooks fire on every inject/hop/arbitration/eject/drop.  Observers
+    are pure read-only listeners (no RNG, no engine mutation), so an
+    instrumented run produces the exact same :class:`SimResult` as a
+    bare one; when ``observer`` is None the hooks cost a single pointer
+    test per event.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class Simulator:
         params: SimulationParams | None = None,
         removed_links: Iterable[Link] | None = None,
         trace_limit: int = 0,
+        observer: SimObserver | None = None,
     ) -> None:
         if traffic.num_terminals != topo.num_terminals:
             raise ValueError(
@@ -83,6 +92,7 @@ class Simulator:
         self.params = params or SimulationParams()
         self.rng = random.Random(self.params.seed)
         self.unroutable_packets = 0
+        self.observer = observer
         self._direct = isinstance(topo, DirectNetwork)
         # Packet tracing: hop logs for the first `trace_limit` packets.
         self.trace_limit = trace_limit
@@ -282,6 +292,8 @@ class Simulator:
         self._heap: list[tuple[int, int, int, int, int]] = []
         self._seq = 0
         self._arb_marks: set[tuple[int, int]] = set()
+        if self.observer is not None:
+            self.observer.on_run_start(self)
 
         # Seed generation events.
         log1m = math.log1p(-rate) if rate < 1.0 else None
@@ -311,7 +323,7 @@ class Simulator:
             else:  # _EV_GEN
                 self._generate(a, time, rate, log1m, horizon)
 
-        return SimResult.from_stats(
+        result = SimResult.from_stats(
             stats,
             offered_load=self.load,
             num_terminals=self.topo.num_terminals,
@@ -319,6 +331,9 @@ class Simulator:
             topology=self.topo.name,
             unroutable_packets=self.unroutable_packets,
         )
+        if self.observer is not None:
+            self.observer.on_run_end(self, result)
+        return result
 
     # ------------------------------------------------------------------
     # Post-run inspection
@@ -364,7 +379,25 @@ class Simulator:
             key = f"{src_level}->{dst_level} {direction}"
             sums[key] = sums.get(key, 0.0) + self.ch_busy_cycles[cid] / window
             counts[key] = counts.get(key, 0) + 1
-        return {key: sums[key] / counts[key] for key in sums}
+        # Sorted keys: exported metrics must not depend on dict
+        # insertion order (repro.lint RPR003 discipline).
+        return {key: sums[key] / counts[key] for key in sorted(sums)}
+
+    def link_loads(self) -> dict[str, float]:
+        """Per-directed-link utilization, keyed ``"src->dst"``.
+
+        Keys are sorted, so serializing the dict is deterministic.
+        This is the link-load distribution Jellyfish-style analyses
+        attribute throughput with; call after :meth:`run`.
+        """
+        window = self.params.measure_cycles
+        loads = {
+            f"{self.ch_src[cid]}->{self.ch_dst[cid]}":
+                self.ch_busy_cycles[cid] / window
+            for cid in range(len(self.ch_kind))
+            if self.ch_kind[cid] == _LINK
+        }
+        return {key: loads[key] for key in sorted(loads)}
 
     def batch_accepted_loads(self) -> list[float]:
         """Per-batch accepted loads (batch-means steady-state check)."""
@@ -433,12 +466,16 @@ class Simulator:
             )
         if unroutable:
             self.unroutable_packets += 1
+            if self.observer is not None:
+                self.observer.on_drop(time, terminal, packet)
         else:
             cid = self.inject_channel[terminal]
             queue = self.ch_queues[cid][0]
             queue.append((time, packet))
             if len(queue) > self.max_inject_queue:
                 self.max_inject_queue = len(queue)
+            if self.observer is not None:
+                self.observer.on_inject(time, packet, len(queue))
             if len(queue) == 1:
                 self._schedule_arb(self.ch_dst[cid], max(time, self.ch_blocked[cid]))
         nxt = time + self._next_gap(self.rng, rate, log1m)
@@ -480,6 +517,8 @@ class Simulator:
         rng = self.rng
         ch_busy = self.ch_busy
         ch_slots = self.ch_slots
+        obs = self.observer
+        total_requests = 0
         granted_inputs: set[int] = set()
         any_grant = False
         for _ in range(self.params.arbitration_iterations):
@@ -519,6 +558,8 @@ class Simulator:
 
             if not requests:
                 break
+            if obs is not None:
+                total_requests += sum(len(c) for c in requests.values())
             rotating = self.params.arbiter == "rotating"
             for out, contenders in requests.items():
                 if len(contenders) == 1:
@@ -530,6 +571,11 @@ class Simulator:
                 self._grant(switch, cid, vc, packet, out, time)
                 granted_inputs.add(cid)
                 any_grant = True
+        if obs is not None and total_requests:
+            # Each granted input cid is unique within a pass, so the
+            # set size is the grant count -- no per-grant accounting on
+            # the disabled path.
+            obs.on_arbitrate(time, switch, total_requests, len(granted_inputs))
         if any_grant:
             self._schedule_arb(switch, time + 1)
 
@@ -608,7 +654,12 @@ class Simulator:
 
         kind = self.ch_kind[out]
         if kind == _EJECT:
-            self._stats.on_delivered(packet, time + latency + phits - 1, phits)
+            delivered = time + latency + phits - 1
+            self._stats.on_delivered(packet, delivered, phits)
+            if self.observer is not None:
+                self.observer.on_eject(
+                    time, packet, delivered - packet.created, phits
+                )
         else:
             slots = self.ch_slots[out]
             assert slots is not None
@@ -620,6 +671,16 @@ class Simulator:
             slots[w] -= 1
             packet.hops += 1
             self.ch_queues[out][w].append((time + latency, packet))
+            if self.observer is not None:
+                self.observer.on_hop(
+                    time,
+                    packet,
+                    switch,
+                    self.ch_dst[out],
+                    w,
+                    slots[w],
+                    len(self.ch_queues[out][w]),
+                )
             self._schedule_arb(self.ch_dst[out], time + latency)
 
         if self.ch_kind[in_cid] == _LINK:
@@ -639,9 +700,12 @@ def simulate(
     load: float,
     params: SimulationParams | None = None,
     removed_links: Iterable[Link] | None = None,
+    observer: SimObserver | None = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(topo, traffic, load, params, removed_links).run()
+    return Simulator(
+        topo, traffic, load, params, removed_links, observer=observer
+    ).run()
 
 
 def load_sweep(

@@ -118,12 +118,14 @@ def replicated_point(
     ambient executor is used (serial and cacheless unless the caller
     or CLI configured otherwise).
     """
+    from .. import obs
     from ..exec import get_executor
     from ..exec.executor import SimTask
 
     if replications < 1:
         raise ValueError("need at least one replication")
     params = params or SimulationParams()
+    collect = obs.metrics_enabled()
     tasks = []
     for i in range(replications):
         seed = replication_seed(params.seed, i)
@@ -134,13 +136,22 @@ def replicated_point(
                 load=load,
                 params=params.scaled(seed=seed),
                 traffic_seed=seed + 1,
+                collect_metrics=collect,
             )
         )
     runner = executor if executor is not None else get_executor()
     results, _ = runner.run_sim_tasks(tasks)
+    topology_name = getattr(topo, "name", "network")
+    if collect:
+        from ..exec import merged_metrics
+
+        obs.record(
+            f"point:{topology_name}:{traffic_name}",
+            merged_metrics(results),
+        )
     return aggregate_replications(
         results,
         offered_load=load,
         traffic_name=traffic_name,
-        topology_name=getattr(topo, "name", "network"),
+        topology_name=topology_name,
     )

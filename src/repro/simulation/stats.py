@@ -93,7 +93,14 @@ class SimStats:
 
 @dataclass(frozen=True)
 class SimResult:
-    """Immutable summary of one simulation run."""
+    """Immutable summary of one simulation run.
+
+    ``metrics`` optionally carries a :mod:`repro.obs` registry export
+    (a plain sorted-key dict) when the run was instrumented; it is
+    ``None`` for bare runs, excluded from equality so instrumented and
+    bare runs of the same seed compare equal, and stripped before the
+    result enters the on-disk cache.
+    """
 
     offered_load: float
     accepted_load: float
@@ -108,6 +115,16 @@ class SimResult:
     traffic: str
     topology: str
     unroutable_packets: int = 0
+    metrics: dict | None = field(default=None, compare=False)
+
+    def core_dict(self) -> dict:
+        """The measurement fields only (no ``metrics``), for hashing,
+        golden snapshots and cache serialization."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload.pop("metrics", None)
+        return payload
 
     @classmethod
     def from_stats(

@@ -1,10 +1,22 @@
-"""Shared fixtures: small canonical topologies reused across tests."""
+"""Shared fixtures: small canonical topologies reused across tests.
 
+Hypothesis profiles: ``dev`` (the default) keeps property tests fast
+for local iteration; ``ci`` raises the example counts for the coverage
+gate (select with ``HYPOTHESIS_PROFILE=ci``).  Tests whose elevated
+counts are expensive are additionally marked ``slow``.
+"""
+
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.core.rfc import radix_regular_rfc, rfc_with_updown
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, max_examples=60)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.topologies.fattree import commodity_fat_tree, k_ary_l_tree
 from repro.topologies.oft import orthogonal_fat_tree
 from repro.topologies.rrn import random_regular_network

@@ -100,3 +100,63 @@ class TestCommands:
     def test_scenarios(self, capsys):
         assert main(["scenarios"]) == 0
         assert "equal-resources-11k" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_parser_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "cft", "--trace", "/tmp/t.jsonl",
+             "--metrics-out", "/tmp/m.json"]
+        )
+        assert args.trace == "/tmp/t.jsonl"
+        assert args.metrics_out == "/tmp/m.json"
+        args = build_parser().parse_args(
+            ["experiment", "fig8", "--metrics-out", "/tmp/m.json"]
+        )
+        assert args.metrics_out == "/tmp/m.json"
+
+    def test_simulate_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "simulate", "cft", "--radix", "4", "--levels", "2",
+            "--load", "0.3", "--cycles", "300", "--warmup", "100",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "metrics:" in out
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records[0]["ev"] == "run_start"
+        assert records[-1]["ev"] == "run_end"
+        export = json.loads(metrics.read_text())
+        assert export["counters"]["eject.packets"] == \
+            records[-1]["delivered"]
+
+    def test_simulate_obs_flags_do_not_change_results(self, capsys,
+                                                      tmp_path):
+        argv = ["simulate", "cft", "--radix", "4", "--levels", "2",
+                "--load", "0.3", "--cycles", "300", "--warmup", "100"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out.splitlines()[:2]
+        assert main(argv + ["--trace", str(tmp_path / "t.jsonl"),
+                            "--metrics-out",
+                            str(tmp_path / "m.json")]) == 0
+        inst = capsys.readouterr().out.splitlines()[:2]
+        assert bare == inst
+
+    @pytest.mark.slow
+    def test_experiment_metrics_out(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "exp_metrics.json"
+        assert main(["experiment", "fig8",
+                     "--metrics-out", str(metrics)]) == 0
+        assert "sweep export(s)" in capsys.readouterr().out
+        exports = json.loads(metrics.read_text())
+        assert exports  # at least one sweep recorded
+        for label, export in exports.items():
+            assert export["counters"]["eject.packets"] > 0

@@ -112,3 +112,92 @@ class TestThroughput:
             cft_8_3, "uniform", flows_per_terminal=4, rng=5
         )
         assert hot < uni
+
+
+class TestClosedFormFixtures:
+    """Hand-computable 2-3 switch fixtures: all routes are forced, so
+    the max-min allocation is known in closed form."""
+
+    @staticmethod
+    def _dumbbell(hosts_per_leaf):
+        """Two leaves, one spine (3 switches): every cross-leaf route
+        is forced through the single spine."""
+        from repro.topologies.base import FoldedClos
+
+        return FoldedClos(
+            level_sizes=[2, 1],
+            up_adjacency=[[[0], [0]]],
+            hosts_per_leaf=hosts_per_leaf,
+            radix=2 + hosts_per_leaf,
+            name="dumbbell",
+        )
+
+    def test_forced_route_shape(self):
+        topo = self._dumbbell(2)
+        # Switch flat ids: leaf0=0, leaf1=1, spine=2.
+        [route] = flow_routes(topo, [(0, 2)], rng=0)
+        assert route == [("inj", 0), (0, 2), (2, 1), ("ej", 2)]
+
+    def test_two_cross_flows_halve(self):
+        """Both leaf-0 hosts send cross: they share the single up-link
+        (0 -> spine), so max-min gives each exactly 1/2."""
+        topo = self._dumbbell(2)
+        routes = flow_routes(topo, [(0, 2), (1, 3)], rng=0)
+        rates = max_min_rates(routes)
+        assert rates == pytest.approx([0.5, 0.5])
+
+    def test_symmetric_cross_traffic_halves_everywhere(self):
+        """Adding the reverse flows uses the opposite directed links,
+        so all four rates stay exactly 1/2."""
+        topo = self._dumbbell(2)
+        pairs = [(0, 2), (1, 3), (2, 0), (3, 1)]
+        rates = max_min_rates(flow_routes(topo, pairs, rng=0))
+        assert rates == pytest.approx([0.5, 0.5, 0.5, 0.5])
+
+    def test_intra_leaf_flow_rides_free(self):
+        """An intra-leaf flow only touches its private inj/ej links and
+        gets full rate while the cross flows split the shared
+        (leaf1 -> spine) link and terminal-0 ejection link fairly."""
+        topo = self._dumbbell(2)
+        pairs = [(0, 1), (2, 0), (3, 0)]
+        rates = max_min_rates(flow_routes(topo, pairs, rng=0))
+        assert rates == pytest.approx([1.0, 0.5, 0.5])
+
+    def test_ejection_link_is_a_bottleneck(self):
+        """Two cross flows converging on one terminal share its
+        ejection link even though the spine links could carry more --
+        the hot-spot effect of the paper's fixed-random traffic."""
+        topo = self._dumbbell(2)
+        pairs = [(0, 2), (1, 3), (2, 1), (3, 1)]
+        rates = max_min_rates(flow_routes(topo, pairs, rng=0))
+        # Forward flows split (leaf0 -> spine); reverse flows split
+        # both (leaf1 -> spine) and ejection link of terminal 1.
+        assert rates == pytest.approx([0.5, 0.5, 0.5, 0.5])
+
+    def test_asymmetric_mix_waterfills(self):
+        """Three cross flows from leaf 0 against one from leaf 1: the
+        shared (leaf0 -> spine) link splits three ways."""
+        topo = self._dumbbell(4)
+        pairs = [(0, 4), (1, 5), (2, 6), (4, 0)]
+        rates = max_min_rates(flow_routes(topo, pairs, rng=0))
+        assert rates == pytest.approx([1 / 3, 1 / 3, 1 / 3, 1.0])
+
+    def test_throughput_two_terminal_forced(self):
+        """With one host per leaf every named traffic is the forced
+        0 <-> 1 exchange; both directions have private links, so the
+        max-min throughput is exactly 1.0."""
+        topo = self._dumbbell(1)
+        for name in ("uniform", "random-pairing", "fixed-random"):
+            for seed in (0, 1, 7):
+                value = flow_level_throughput(topo, name, rng=seed)
+                assert value == pytest.approx(1.0), (name, seed)
+
+    def test_throughput_subflows_share_injection(self):
+        """uniform with flows_per_terminal > 1 on the forced network:
+        subflows split the injection link but the per-source sum is
+        still capped at exactly 1.0."""
+        topo = self._dumbbell(1)
+        value = flow_level_throughput(
+            topo, "uniform", flows_per_terminal=3, paths_per_flow=2, rng=9
+        )
+        assert value == pytest.approx(1.0)

@@ -1,0 +1,167 @@
+"""repro.exec metrics aggregation and its cache interplay.
+
+``collect_metrics`` tasks must ship a per-worker registry export back
+inside ``SimResult.metrics`` without perturbing results, cache keys or
+the cached byte layout.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import Executor, ResultCache, SimTask, merged_metrics
+from repro.simulation.config import SimulationParams
+
+FAST = SimulationParams(measure_cycles=300, warmup_cycles=100, seed=5)
+
+
+def make_task(topo, seed=1, load=0.5, collect=False):
+    return SimTask(
+        topo=topo,
+        traffic_name="uniform",
+        load=load,
+        params=FAST,
+        traffic_seed=seed,
+        collect_metrics=collect,
+    )
+
+
+class TestCollectMetrics:
+    def test_bare_task_has_no_metrics(self, rfc_small):
+        [result], _ = Executor().run_sim_tasks([make_task(rfc_small)])
+        assert result.metrics is None
+
+    def test_collecting_task_ships_export(self, rfc_small):
+        [result], _ = Executor().run_sim_tasks(
+            [make_task(rfc_small, collect=True)]
+        )
+        assert result.metrics is not None
+        counters = result.metrics["counters"]
+        assert counters["eject.packets"] == result.delivered_packets
+
+    def test_collection_does_not_change_results(self, rfc_small):
+        [bare], _ = Executor().run_sim_tasks([make_task(rfc_small)])
+        [inst], _ = Executor().run_sim_tasks(
+            [make_task(rfc_small, collect=True)]
+        )
+        # metrics is compare=False: equality is over measurements only.
+        assert bare == inst
+        assert bare.core_dict() == inst.core_dict()
+
+
+class TestMergedMetrics:
+    def test_counters_add_across_tasks(self, rfc_small):
+        tasks = [
+            make_task(rfc_small, seed=s, collect=True) for s in (1, 2)
+        ]
+        results, _ = Executor().run_sim_tasks(tasks)
+        merged = merged_metrics(results)
+        expected = sum(
+            r.metrics["counters"]["eject.packets"] for r in results
+        )
+        assert merged["counters"]["eject.packets"] == expected
+        assert expected == sum(r.delivered_packets for r in results)
+
+    def test_skips_bare_results(self, rfc_small):
+        tasks = [
+            make_task(rfc_small, seed=1, collect=True),
+            make_task(rfc_small, seed=2, collect=False),
+        ]
+        results, _ = Executor().run_sim_tasks(tasks)
+        merged = merged_metrics(results)
+        only = results[0].metrics
+        assert (
+            merged["counters"]["eject.packets"]
+            == only["counters"]["eject.packets"]
+        )
+
+    def test_empty_batch_merges_to_empty_sections(self):
+        merged = merged_metrics([])
+        assert merged == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timeseries": {},
+        }
+
+
+class TestCacheSemantics:
+    def test_collecting_task_skips_cache_read(self, rfc_small, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+        # Warm the cache with a bare run.
+        executor.run_sim_tasks([make_task(rfc_small)])
+        [result], report = executor.run_sim_tasks(
+            [make_task(rfc_small, collect=True)]
+        )
+        assert report.cache_hits == 0
+        assert result.metrics is not None
+
+    def test_collecting_task_still_warms_cache(self, rfc_small, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+        [collected], _ = executor.run_sim_tasks(
+            [make_task(rfc_small, collect=True)]
+        )
+        [cached], report = executor.run_sim_tasks([make_task(rfc_small)])
+        assert report.cache_hits == 1
+        assert cached.metrics is None
+        # compare=False on metrics: the hit equals the collected result.
+        assert cached == collected
+
+    def test_cache_entry_bytes_free_of_metrics(self, rfc_small, tmp_path):
+        cache = ResultCache(tmp_path)
+        Executor(cache=cache).run_sim_tasks(
+            [make_task(rfc_small, collect=True)]
+        )
+        [entry] = [p for p in tmp_path.rglob("*.json") if p.is_file()]
+        payload = json.loads(entry.read_text())
+        assert "metrics" not in payload["result"]
+
+    def test_collect_flag_not_in_cache_key(self, rfc_small, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+        executor.run_sim_tasks([make_task(rfc_small, collect=True)])
+        executor.run_sim_tasks([make_task(rfc_small, collect=False)])
+        # Both variants of the same point share one cache entry.
+        assert len(cache) == 1
+
+
+class TestParallelAggregation:
+    def test_parallel_matches_serial_metrics(self, rfc_small):
+        tasks = [
+            make_task(rfc_small, seed=s, collect=True) for s in (1, 2, 3)
+        ]
+        serial, _ = Executor(workers=1).run_sim_tasks(tasks)
+        parallel, _ = Executor(workers=2).run_sim_tasks(tasks)
+        assert serial == parallel
+        a = json.dumps(merged_metrics(serial), sort_keys=True)
+        b = json.dumps(merged_metrics(parallel), sort_keys=True)
+        assert a == b
+
+
+class TestAmbientReplication:
+    def test_replicated_point_records_merged_export(self, cft_4_3):
+        import repro.obs as obs
+        from repro.simulation.replication import replicated_point
+
+        with obs.using_metrics(True):
+            agg = replicated_point(
+                cft_4_3, "uniform", 0.3, FAST, replications=2
+            )
+            collected = obs.collected()
+        [label] = list(collected)
+        assert label == f"point:{cft_4_3.name}:uniform"
+        total = collected[label]["counters"]["eject.packets"]
+        assert total == sum(r.delivered_packets for r in agg.results)
+
+    def test_replicated_point_bare_by_default(self, cft_4_3):
+        import repro.obs as obs
+        from repro.simulation.replication import replicated_point
+
+        obs.configure(metrics=False)
+        agg = replicated_point(
+            cft_4_3, "uniform", 0.3, FAST, replications=2
+        )
+        assert all(r.metrics is None for r in agg.results)
+        assert obs.collected() == {}

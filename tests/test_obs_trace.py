@@ -1,0 +1,104 @@
+"""Unit tests for the bounded-buffer JSONL trace writer."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TraceWriter
+
+
+def read_lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line
+    ]
+
+
+class TestMemoryMode:
+    def test_records_kept_in_order(self):
+        with TraceWriter(None) as w:
+            w.emit({"ev": "a", "t": 0})
+            w.emit({"ev": "b", "t": 1})
+        assert [r["ev"] for r in w.records()] == ["a", "b"]
+        assert w.written == 2
+
+    def test_max_records_drops_and_counts(self):
+        w = TraceWriter(None, max_records=2)
+        for t in range(5):
+            w.emit({"ev": "x", "t": t})
+        assert w.written == 2
+        assert w.dropped == 3
+        assert len(w.records()) == 2
+
+
+class TestDiskMode:
+    def test_buffered_then_flushed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        w = TraceWriter(path, buffer_records=10)
+        w.emit({"ev": "a", "t": 0})
+        # Below the buffer threshold: nothing on disk yet.
+        assert path.read_text() == ""
+        assert w.written == 0
+        w.flush()
+        assert w.written == 1
+        assert read_lines(path) == [{"ev": "a", "t": 0}]
+
+    def test_auto_flush_at_threshold(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        w = TraceWriter(path, buffer_records=3)
+        for t in range(3):
+            w.emit({"ev": "x", "t": t})
+        assert w.written == 3
+        assert len(read_lines(path)) == 3
+
+    def test_close_flushes_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, buffer_records=100) as w:
+            w.emit({"ev": "x", "t": 0})
+        assert len(read_lines(path)) == 1
+
+    def test_emit_after_close_raises(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.jsonl")
+        w.close()
+        with pytest.raises(ValueError):
+            w.emit({"ev": "x"})
+
+    def test_truncates_existing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale\n")
+        with TraceWriter(path) as w:
+            w.emit({"ev": "fresh", "t": 0})
+        assert read_lines(path) == [{"ev": "fresh", "t": 0}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with TraceWriter(path) as w:
+            w.emit({"ev": "x", "t": 0})
+        assert path.exists()
+
+    def test_max_records_caps_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, buffer_records=2, max_records=5) as w:
+            for t in range(9):
+                w.emit({"ev": "x", "t": t})
+        assert w.written == 5
+        assert w.dropped == 4
+        assert len(read_lines(path)) == 5
+
+    def test_lines_have_sorted_keys(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as w:
+            w.emit({"z": 1, "a": 2, "ev": "x"})
+        line = path.read_text().splitlines()[0]
+        assert line == '{"a": 2, "ev": "x", "z": 1}'
+
+
+class TestValidation:
+    def test_bad_buffer_size(self):
+        with pytest.raises(ValueError):
+            TraceWriter(None, buffer_records=0)
+
+    def test_bad_max_records(self):
+        with pytest.raises(ValueError):
+            TraceWriter(None, max_records=0)

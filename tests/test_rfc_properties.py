@@ -1,0 +1,109 @@
+"""Property-based invariants of RFC construction (Definition 3.1, Fig. 4).
+
+For randomized ``(R, N1, l, seed)`` inside the Theorem 4.2-feasible
+range, every sampled radix-regular RFC must have the canonical level
+sizes, conserve ports across each bipartite stage, and respect the
+(semi)regular degree bounds the random bipartite construction promises.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.rfc import radix_regular_rfc, rfc_level_sizes
+from repro.core.theory import rfc_max_leaves
+
+
+@st.composite
+def rfc_params(draw):
+    radix = draw(st.sampled_from([4, 6, 8]))
+    levels = draw(st.sampled_from([2, 3]))
+    cap = min(rfc_max_leaves(radix, levels), 24)
+    n1 = draw(st.integers(radix // 2, cap // 2).map(lambda k: 2 * k))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    return radix, n1, levels, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=rfc_params())
+def test_level_sizes_canonical(params):
+    """N1 switches per non-root level, N1/2 roots."""
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    assert topo.level_sizes == rfc_level_sizes(n1, levels)
+    assert topo.level_sizes == [n1] * (levels - 1) + [n1 // 2]
+    assert topo.num_terminals == n1 * radix // 2
+    topo.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=rfc_params())
+def test_port_conservation_per_stage(params):
+    """Up-links out of level i == down-links into level i+1 == the
+    stage's cable count; totals reconcile with num_links/num_ports."""
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    total_links = 0
+    for stage in range(levels - 1):
+        ups = sum(
+            topo.up_degree(stage, s)
+            for s in range(topo.level_sizes[stage])
+        )
+        downs = sum(
+            len(topo.down_neighbors(stage + 1, t))
+            for t in range(topo.level_sizes[stage + 1])
+        )
+        assert ups == downs == topo.level_sizes[stage] * radix // 2
+        total_links += ups
+    assert topo.num_links == total_links
+    # Each cable uses two ports, each terminal one (Figure 7 cost).
+    assert topo.num_ports == 2 * total_links + topo.num_terminals
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=rfc_params())
+def test_semiregular_bipartite_degrees(params):
+    """Each stage is a semiregular bipartite graph: lower side exactly
+    R/2 up-links, upper side exactly total/N_{i+1} down-links (the
+    divisibility the generator enforces makes floor == ceil), and no
+    parallel links."""
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    half = radix // 2
+    for stage in range(levels - 1):
+        n_hi = topo.level_sizes[stage + 1]
+        expected_down = topo.level_sizes[stage] * half // n_hi
+        for s in range(topo.level_sizes[stage]):
+            ups = topo.up_neighbors(stage, s)
+            assert len(ups) == half
+            assert len(set(ups)) == len(ups)  # no parallel links
+            assert all(0 <= t < n_hi for t in ups)
+        for t in range(n_hi):
+            assert len(topo.down_neighbors(stage + 1, t)) == expected_down
+    assert topo.is_radix_regular()
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=rfc_params())
+def test_generation_is_seed_deterministic(params):
+    """Same (R, N1, l, seed) always wires the same instance."""
+    radix, n1, levels, seed = params
+    a = radix_regular_rfc(radix, n1, levels, rng=seed)
+    b = radix_regular_rfc(radix, n1, levels, rng=seed)
+    assert a.level_sizes == b.level_sizes
+    for stage in range(levels - 1):
+        for s in range(a.level_sizes[stage]):
+            assert a.up_neighbors(stage, s) == b.up_neighbors(stage, s)
+
+
+@pytest.mark.slow
+@settings(max_examples=100, deadline=None)
+@given(params=rfc_params())
+def test_structure_invariants_elevated(params):
+    """Level sizes + degrees + validation at CI depth."""
+    radix, n1, levels, seed = params
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    topo.validate()
+    assert topo.is_radix_regular()
+    assert topo.level_sizes == rfc_level_sizes(n1, levels)

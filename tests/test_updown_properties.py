@@ -1,0 +1,152 @@
+"""Property-based invariants of up/down routing (Section 4.1).
+
+Every route the router produces over a randomized RFC instance must be
+a strict up-phase followed by a strict down-phase, acyclic, built from
+real topology edges, endpoint-correct, and (in minimal mode) exactly
+``2 * min_ascent`` hops long.  These invariants are what make up/down
+routing deadlock-free, so they must hold for *every* instance and
+seed, not just the fixtures -- hence Hypothesis.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rfc import radix_regular_rfc
+from repro.core.theory import rfc_max_leaves
+from repro.routing.updown import RoutingError, UpDownRouter
+
+
+@st.composite
+def rfc_routers(draw):
+    """A randomized feasible RFC instance plus its router and a seed."""
+    radix = draw(st.sampled_from([4, 6, 8]))
+    levels = draw(st.sampled_from([2, 3]))
+    cap = min(rfc_max_leaves(radix, levels), 20)
+    n1 = draw(
+        st.integers(radix // 2, cap // 2).map(lambda k: 2 * k)
+    )
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    topo = radix_regular_rfc(radix, n1, levels, rng=seed)
+    router = UpDownRouter.for_topology(topo)
+    return topo, router, seed
+
+
+def _phase_profile(hops):
+    """Level deltas of consecutive hops: must be +1s then -1s."""
+    return [lb - la for (la, _), (lb, _) in zip(hops, hops[1:])]
+
+
+def _assert_route_invariants(topo, router, a, b, seed, minimal=True):
+    hops = router.path(a, b, rng=seed, minimal=minimal)
+
+    # Endpoint-correct: starts at leaf a, ends at leaf b, both level 0.
+    assert hops[0] == (0, a)
+    assert hops[-1] == (0, b)
+
+    # Acyclic: no switch visited twice.
+    assert len(set(hops)) == len(hops)
+
+    # Strict up-phase then down-phase: deltas are +1... then -1...,
+    # with no -1 followed by +1 (a down-up turn would break deadlock
+    # freedom).
+    deltas = _phase_profile(hops)
+    assert set(deltas) <= {1, -1}
+    if deltas:
+        first_down = deltas.index(-1) if -1 in deltas else len(deltas)
+        assert all(d == 1 for d in deltas[:first_down])
+        assert all(d == -1 for d in deltas[first_down:])
+
+    # Every hop is a real topology edge.
+    for (la, ia), (lb, ib) in zip(hops, hops[1:]):
+        if lb == la + 1:
+            assert ib in topo.up_neighbors(la, ia)
+        else:
+            assert ia in topo.up_neighbors(lb, ib)
+
+    # Minimal routes have exactly 2 * min_ascent hops.
+    if minimal and a != b:
+        assert len(hops) - 1 == 2 * router.min_ascent(0, a, b)
+    return hops
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), instance=rfc_routers())
+def test_route_is_strict_up_then_down(data, instance):
+    topo, router, seed = instance
+    n1 = topo.num_leaves
+    a = data.draw(st.integers(0, n1 - 1), label="src leaf")
+    b = data.draw(st.integers(0, n1 - 1), label="dst leaf")
+    if not router.reachable(a, b):
+        with pytest.raises(RoutingError):
+            router.path(a, b, rng=seed)
+        return
+    _assert_route_invariants(topo, router, a, b, seed, minimal=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), instance=rfc_routers())
+def test_nonminimal_routes_still_updown(data, instance):
+    """minimal=False may lengthen routes but never bends them."""
+    topo, router, seed = instance
+    n1 = topo.num_leaves
+    a = data.draw(st.integers(0, n1 - 1), label="src leaf")
+    b = data.draw(st.integers(0, n1 - 1), label="dst leaf")
+    if not router.reachable(a, b):
+        return
+    hops = _assert_route_invariants(
+        topo, router, a, b, seed, minimal=False
+    )
+    assert len(hops) - 1 >= 2 * router.min_ascent(0, a, b) or a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=rfc_routers())
+def test_path_length_symmetric(instance):
+    """Up/down distance is symmetric (routes are reversible)."""
+    topo, router, _ = instance
+    n1 = topo.num_leaves
+    rand = random.Random(0)
+    for _ in range(10):
+        a, b = rand.randrange(n1), rand.randrange(n1)
+        if router.reachable(a, b):
+            assert router.path_length(a, b) == router.path_length(b, a)
+        else:
+            assert not router.reachable(b, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), instance=rfc_routers())
+def test_next_hops_agree_with_reachability(data, instance):
+    """At every switch of a route, next_hops offers >= 1 candidate and
+    all candidates keep the destination reachable."""
+    topo, router, seed = instance
+    n1 = topo.num_leaves
+    a = data.draw(st.integers(0, n1 - 1), label="src leaf")
+    b = data.draw(st.integers(0, n1 - 1), label="dst leaf")
+    if a == b or not router.reachable(a, b):
+        return
+    hops = router.path(a, b, rng=seed)
+    for level, index in hops[:-1]:
+        direction, candidates = router.next_hops(level, index, b)
+        if direction == "deliver":
+            continue
+        assert candidates
+        next_level = level + 1 if direction == "up" else level - 1
+        for t in candidates:
+            assert router.min_ascent(next_level, t, b) >= 0
+
+
+@pytest.mark.slow
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), instance=rfc_routers())
+def test_route_invariants_elevated(data, instance):
+    """Same core invariant at an elevated example count (CI depth)."""
+    topo, router, seed = instance
+    n1 = topo.num_leaves
+    a = data.draw(st.integers(0, n1 - 1), label="src leaf")
+    b = data.draw(st.integers(0, n1 - 1), label="dst leaf")
+    if router.reachable(a, b):
+        _assert_route_invariants(topo, router, a, b, seed)
