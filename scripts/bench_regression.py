@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Engine performance regression harness -> BENCH_engine.json.
 
-Runs a fixed-seed, fixed-topology load sweep three ways -- bare,
-metrics-instrumented, and metrics+trace -- and records simulated
-cycles per wall-second, delivered packets per second, peak RSS and the
-observability overhead percentages.  The JSON output gives future PRs
-a perf trajectory: run before and after an engine change and compare
-``cycles_per_sec``.
+Benchmarks the reference engine against the precomputed-route fast
+path (``engines`` section, with the speedup ratio), then runs the fast
+path three ways -- bare, metrics-instrumented, and metrics+trace --
+recording simulated cycles per wall-second, delivered packets per
+second, peak RSS and the observability overhead percentages.  Both
+engines must produce identical result signatures; the script fails on
+any drift.  The JSON output gives future PRs a perf trajectory: run
+before and after an engine change and compare ``cycles_per_sec``.
 
     PYTHONPATH=src python scripts/bench_regression.py [--out PATH]
         [--repeats N] [--quick]
@@ -56,6 +58,44 @@ def bench(repeats: int, quick: bool) -> dict:
         seed=5,
     )
     load = 0.7
+
+    # Reference vs fast path, bare runs.  Identical signatures are a
+    # hard requirement -- the fast path's contract is bit-for-bit.
+    engines: dict[str, dict] = {}
+    for engine in ("reference", "fast"):
+        eng_params = params.scaled(fast_path=engine == "fast")
+        elapsed = 0.0
+        checksum = None
+        for _ in range(repeats):
+            result, wall = _run_once(topo, eng_params, load)
+            elapsed += wall
+            sig = (result.accepted_load, result.avg_latency,
+                   result.delivered_packets)
+            if checksum is None:
+                checksum = sig
+            elif checksum != sig:
+                raise AssertionError(
+                    f"non-deterministic repeat in {engine} engine"
+                )
+        cycles = params.horizon * repeats
+        engines[engine] = {
+            "signature": list(checksum),
+            "wall_seconds": round(elapsed, 4),
+            "cycles_per_sec": round(cycles / elapsed, 1),
+        }
+    if engines["reference"]["signature"] != engines["fast"]["signature"]:
+        raise AssertionError(
+            "fast path drifted from the reference engine: "
+            f"{engines['reference']['signature']} != "
+            f"{engines['fast']['signature']}"
+        )
+    engines["speedup"] = round(
+        engines["fast"]["cycles_per_sec"]
+        / engines["reference"]["cycles_per_sec"],
+        2,
+    )
+
+    # Observability overhead, measured on the (default) fast path.
     modes: dict[str, dict] = {}
 
     for mode in ("bare", "metrics", "metrics+trace"):
@@ -124,6 +164,7 @@ def bench(repeats: int, quick: bool) -> dict:
             "seed": params.seed,
         },
         "result_signature": signatures["bare"],
+        "engines": engines,
         "modes": modes,
         "peak_rss_kb": peak_rss_kb,
     }
@@ -145,6 +186,10 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
+    engines = payload["engines"]
+    print(f"fast path: {engines['fast']['cycles_per_sec']:,.0f} cycles/sec "
+          f"vs reference {engines['reference']['cycles_per_sec']:,.0f} "
+          f"({engines['speedup']}x speedup, identical signatures)")
     bare = payload["modes"]["bare"]
     print(f"engine: {bare['cycles_per_sec']:,.0f} cycles/sec bare, "
           f"metrics overhead {payload['modes']['metrics']['overhead_pct']}%, "

@@ -11,7 +11,10 @@ by everything that can influence it:
   (re)built from;
 * the **offered load**;
 * every field of :class:`~repro.simulation.config.SimulationParams`
-  (including the engine seed);
+  (including the engine seed) -- *except* ``fast_path``: the fast and
+  reference engines are bit-for-bit identical (enforced by the
+  differential suite), so engine selection must not change the digest
+  and both engines share entries;
 * the sorted set of **removed links** (fault experiments);
 * a **code version** tag (:data:`CODE_VERSION`) bumped whenever the
   simulator's semantics change, so stale results from an older engine
@@ -73,6 +76,11 @@ def cache_key(
     The payload is canonical JSON (sorted keys, fixed separators) so
     the digest is stable across processes and Python versions.
     """
+    params_payload = dataclasses.asdict(params)
+    # Engine selection produces identical results by contract, so it
+    # must not (and does not) influence the digest: caches written
+    # before the fast path existed keep hitting.
+    params_payload.pop("fast_path", None)
     payload = {
         "code": CODE_VERSION,
         "format": CACHE_FORMAT,
@@ -80,7 +88,7 @@ def cache_key(
         "traffic": traffic_name,
         "traffic_seed": traffic_seed,
         "load": load,
-        "params": dataclasses.asdict(params),
+        "params": params_payload,
         "removed": sorted([link.lo, link.hi] for link in removed_links or ()),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -17,10 +17,124 @@ paper notes that Jellyfish pays and folded Clos topologies avoid.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable
+
+import numpy as np
+
 from ..topologies.base import DirectNetwork
 from .shortest import all_shortest_next_hops, shortest_path_lengths
 
-__all__ = ["EcmpTableRouter"]
+__all__ = ["CsrTable", "EcmpTableRouter"]
+
+
+class CsrTable:
+    """CSR-flattened per-(source, destination) candidate lists.
+
+    The hop-by-hop routers answer ``next_hops(source, dest)`` with a
+    freshly built Python list on every call; the simulator's fast path
+    (:mod:`repro.simulation.fastpath`) instead precomputes every answer
+    once into two flat ``int32`` arrays:
+
+    * ``offsets`` -- shape ``(num_sources * num_dests + 1,)``; the
+      candidates of key ``k = source * num_dests + dest`` live in
+      ``values[offsets[k]:offsets[k + 1]]``;
+    * ``values`` -- the concatenated candidate ids (next-hop switches
+      or output channel ids, depending on the builder);
+
+    plus a ``uint8`` ``flags`` array (one entry per key) classifying
+    each pair: :data:`ROUTE` (use the candidate slice), :data:`DELIVER`
+    (source *is* the destination -- eject locally, slice empty) or
+    :data:`UNROUTABLE` (no route survives -- slice empty).
+    """
+
+    ROUTE = 0
+    DELIVER = 1
+    UNROUTABLE = 2
+
+    def __init__(
+        self,
+        num_sources: int,
+        num_dests: int,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        flags: np.ndarray,
+    ) -> None:
+        if offsets.shape != (num_sources * num_dests + 1,):
+            raise ValueError("offsets must have one entry per key plus one")
+        if flags.shape != (num_sources * num_dests,):
+            raise ValueError("flags must have one entry per key")
+        self.num_sources = num_sources
+        self.num_dests = num_dests
+        self.offsets = offsets
+        self.values = values
+        self.flags = flags
+
+    @classmethod
+    def build(
+        cls,
+        num_sources: int,
+        num_dests: int,
+        entry: Callable[[int, int], tuple[int, Iterable[int]]],
+    ) -> "CsrTable":
+        """Materialize ``entry(source, dest) -> (flag, candidates)``
+        for every key, in row-major (source-major) order."""
+        offsets = np.zeros(num_sources * num_dests + 1, dtype=np.int32)
+        flags = np.zeros(num_sources * num_dests, dtype=np.uint8)
+        values: list[int] = []
+        key = 0
+        for source in range(num_sources):
+            for dest in range(num_dests):
+                flag, candidates = entry(source, dest)
+                flags[key] = flag
+                values.extend(candidates)
+                key += 1
+                offsets[key] = len(values)
+        return cls(
+            num_sources,
+            num_dests,
+            offsets,
+            np.asarray(values, dtype=np.int32),
+            flags,
+        )
+
+    def key(self, source: int, dest: int) -> int:
+        return source * self.num_dests + dest
+
+    def flag(self, source: int, dest: int) -> int:
+        return int(self.flags[self.key(source, dest)])
+
+    def candidates(self, source: int, dest: int) -> np.ndarray:
+        """Candidate slice for one pair (empty for DELIVER/UNROUTABLE)."""
+        key = self.key(source, dest)
+        return self.values[self.offsets[key]:self.offsets[key + 1]]
+
+    def to_lists(self) -> list:
+        """Per-key Python lists for the interpreter-bound hot loop.
+
+        Returns one entry per key: the candidate list for ROUTE and
+        DELIVER keys, ``None`` for UNROUTABLE ones (the engine replays
+        the reference router on a ``None`` hit so a routing failure
+        raises the exact same :class:`~repro.routing.updown
+        .RoutingError` the reference engine would).  Scalar-indexing
+        numpy arrays from Python is slower than list indexing, so the
+        run loop works off this mirror while the arrays stay the
+        canonical, testable representation.
+        """
+        offsets = self.offsets.tolist()
+        values = self.values.tolist()
+        unroutable = self.UNROUTABLE
+        return [
+            None
+            if flag == unroutable
+            else values[offsets[key]:offsets[key + 1]]
+            for key, flag in enumerate(self.flags.tolist())
+        ]
+
+    def source_of_value(self) -> np.ndarray:
+        """Source id of every ``values`` entry (CSR row expansion)."""
+        counts = np.diff(self.offsets)
+        keys = np.repeat(np.arange(len(self.flags)), counts)
+        return keys // self.num_dests
 
 
 class EcmpTableRouter:
@@ -65,6 +179,26 @@ class EcmpTableRouter:
             return 0
         self._table(dest)
         return self._dist[dest][switch]
+
+    def csr_table(self) -> CsrTable:
+        """All ECMP tables flattened into one :class:`CsrTable`.
+
+        Values are next-hop *switch ids*; the simulator's fast path
+        maps them onto output channel ids.  Building this forces every
+        per-destination BFS the lazy tables would otherwise spread
+        over the run.
+        """
+        n = len(self._adj)
+
+        def entry(source: int, dest: int) -> tuple[int, list[int]]:
+            if source == dest:
+                return CsrTable.DELIVER, []
+            hops = self._table(dest)[source]
+            if self._dist[dest][source] < 0:
+                return CsrTable.UNROUTABLE, []
+            return CsrTable.ROUTE, list(hops)
+
+        return CsrTable.build(n, n, entry)
 
     def max_route_length(self, dests: list[int] | None = None) -> int:
         """Longest shortest-path over the cached (or given) tables.

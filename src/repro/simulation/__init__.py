@@ -2,6 +2,7 @@
 
 from .config import SimulationParams
 from .engine import Simulator, load_sweep, saturation_throughput, simulate
+from .fastpath import EventWheel, build_candidate_table, run_fast
 from .flowlevel import flow_level_throughput, max_min_rates
 from .packet import Packet
 from .replication import (
@@ -29,6 +30,9 @@ __all__ = [
     "simulate",
     "load_sweep",
     "saturation_throughput",
+    "EventWheel",
+    "build_candidate_table",
+    "run_fast",
     "flow_level_throughput",
     "max_min_rates",
     "Packet",

@@ -63,6 +63,18 @@ class SimulationParams:
         knob exists to demonstrate that).  The two phases use disjoint
         halves of the virtual channels for deadlock freedom, so it
         needs ``virtual_channels >= 2``.  Folded Clos only.
+    fast_path:
+        Run through the precomputed-route engine
+        (:mod:`repro.simulation.fastpath`): per-destination output
+        candidates are flattened into CSR index arrays and the event
+        heap is replaced by a calendar-queue wheel.  The fast path is
+        bit-for-bit identical to the reference engine (same RNG call
+        order, same :class:`~repro.simulation.stats.SimResult`, same
+        observer callbacks), so this knob trades nothing but wall
+        time; ``False`` selects the reference engine, kept as the
+        oracle for the differential test suite.  Because results are
+        identical, this field is excluded from
+        :func:`repro.exec.cache.cache_key`.
     seed:
         Master RNG seed (traffic, ECMP choices, arbitration).
     """
@@ -78,6 +90,7 @@ class SimulationParams:
     arbiter: str = "random"
     up_selection: str = "random"
     valiant: bool = False
+    fast_path: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -281,6 +281,24 @@ class Simulator:
     # Run loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
+        """Execute the run through the engine ``params.fast_path`` selects.
+
+        ``fast_path=True`` (the default) routes through
+        :func:`repro.simulation.fastpath.run_fast`, which precomputes
+        CSR candidate tables and drives a calendar-queue event wheel;
+        ``False`` runs :meth:`run_reference`.  The two are bit-for-bit
+        identical (same RNG stream, same :class:`SimResult`, same
+        observer callbacks, same post-run channel state) -- the
+        reference engine is kept as the oracle for
+        ``tests/test_fastpath_differential.py``.
+        """
+        if self.params.fast_path:
+            from .fastpath import run_fast
+
+            return run_fast(self)
+        return self.run_reference()
+
+    def run_reference(self) -> SimResult:
         params = self.params
         stats = SimStats(warmup=params.warmup_cycles, horizon=params.horizon)
         self._stats = stats
@@ -342,9 +360,13 @@ class Simulator:
         """Switch-link utilization summary over the measurement window.
 
         Returns ``{"mean": ..., "max": ..., "p95": ...}`` as fractions
-        of a link's phit capacity.  Call after :meth:`run`.
+        of a link's phit capacity.  Call after :meth:`run`.  A
+        degenerate window (``measure_cycles <= 0``) reports zeros
+        rather than dividing by it.
         """
         window = self.params.measure_cycles
+        if window <= 0:
+            return {"mean": 0.0, "max": 0.0, "p95": 0.0}
         fractions = sorted(
             self.ch_busy_cycles[cid] / window
             for cid in range(len(self.ch_kind))
@@ -377,7 +399,8 @@ class Simulator:
             dst_level = self.level_of[self.ch_dst[cid]]
             direction = "up" if dst_level > src_level else "down"
             key = f"{src_level}->{dst_level} {direction}"
-            sums[key] = sums.get(key, 0.0) + self.ch_busy_cycles[cid] / window
+            used = self.ch_busy_cycles[cid] / window if window > 0 else 0.0
+            sums[key] = sums.get(key, 0.0) + used
             counts[key] = counts.get(key, 0) + 1
         # Sorted keys: exported metrics must not depend on dict
         # insertion order (repro.lint RPR003 discipline).
@@ -393,7 +416,7 @@ class Simulator:
         window = self.params.measure_cycles
         loads = {
             f"{self.ch_src[cid]}->{self.ch_dst[cid]}":
-                self.ch_busy_cycles[cid] / window
+                self.ch_busy_cycles[cid] / window if window > 0 else 0.0
             for cid in range(len(self.ch_kind))
             if self.ch_kind[cid] == _LINK
         }
@@ -404,8 +427,14 @@ class Simulator:
         return self._stats.batch_accepted_loads(self.topo.num_terminals)
 
     def ejection_utilization(self) -> list[float]:
-        """Per-terminal sink occupancy -- 1.0 marks a saturated hot spot."""
+        """Per-terminal sink occupancy -- 1.0 marks a saturated hot spot.
+
+        Zeros when the measurement window is degenerate
+        (``measure_cycles <= 0``).
+        """
         window = self.params.measure_cycles
+        if window <= 0:
+            return [0.0] * len(self.eject_channel)
         return [
             self.ch_busy_cycles[cid] / window for cid in self.eject_channel
         ]

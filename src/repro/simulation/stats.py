@@ -75,10 +75,12 @@ class SimStats:
             return []
         window = self.horizon - self.warmup
         batch_cycles = window / self.num_batches
-        return [
-            phits / (num_terminals * batch_cycles)
-            for phits in self.batch_phits
-        ]
+        denom = num_terminals * batch_cycles
+        if denom <= 0:
+            # Degenerate window or terminal count: report zero load per
+            # batch instead of raising ZeroDivisionError.
+            return [0.0] * len(self.batch_phits)
+        return [phits / denom for phits in self.batch_phits]
 
     def latency_percentile(self, fraction: float) -> float:
         """Latency percentile over measured packets (NaN when empty)."""
@@ -137,7 +139,10 @@ class SimResult:
         unroutable_packets: int = 0,
     ) -> "SimResult":
         cycles = stats.horizon - stats.warmup
-        accepted = stats.measured_phits / (num_terminals * cycles)
+        denom = num_terminals * cycles
+        # Zero-cycle windows (horizon == warmup) or zero terminals can
+        # only arise from hand-built stats, but must not raise.
+        accepted = stats.measured_phits / denom if denom > 0 else 0.0
         if stats.measured_packets:
             latency = stats.measured_latency_sum / stats.measured_packets
             hops = stats.measured_hops_sum / stats.measured_packets

@@ -138,3 +138,39 @@ class TestFaultyRuns:
             removed_links=links[: len(links) // 4],
         ).run()
         assert broken.accepted_load < healthy.accepted_load
+
+
+class TestZeroWindowInspection:
+    """Post-run inspection with a degenerate measurement window
+    reports zeros instead of raising ZeroDivisionError.
+
+    ``SimulationParams`` validation forbids ``measure_cycles < 1``, so
+    the degenerate window is forced through the params object the way
+    a hand-built harness (or a future knob) could."""
+
+    @pytest.fixture()
+    def zero_window_sim(self, rfc_small):
+        traffic = make_traffic("uniform", rfc_small.num_terminals, rng=1)
+        sim = Simulator(rfc_small, traffic, 0.5, FAST)
+        sim.run()
+        object.__setattr__(sim.params, "measure_cycles", 0)
+        return sim
+
+    def test_link_utilization_zero_window(self, zero_window_sim):
+        assert zero_window_sim.link_utilization() == {
+            "mean": 0.0, "max": 0.0, "p95": 0.0,
+        }
+
+    def test_stage_utilization_zero_window(self, zero_window_sim):
+        stages = zero_window_sim.stage_utilization()
+        assert stages
+        assert all(v == 0.0 for v in stages.values())
+
+    def test_link_loads_zero_window(self, zero_window_sim):
+        loads = zero_window_sim.link_loads()
+        assert loads
+        assert all(v == 0.0 for v in loads.values())
+
+    def test_ejection_utilization_zero_window(self, zero_window_sim):
+        ejected = zero_window_sim.ejection_utilization()
+        assert ejected == [0.0] * zero_window_sim.topo.num_terminals

@@ -1,0 +1,282 @@
+"""Differential proof that the fast path equals the reference engine.
+
+Every test runs the same (topology, traffic, load, params) point twice
+-- once through :func:`repro.simulation.fastpath.run_fast`
+(``fast_path=True``) and once through ``Simulator.run_reference`` --
+and demands **bit-for-bit** agreement:
+
+* :class:`SimResult` dataclass equality (accepted load, latency
+  moments, percentiles, packet counters),
+* per-channel busy-cycle arrays (the utilization side channel),
+* packet traces, peak injection queue depth, unroutable drop counts,
+* and, when instrumented, the full :class:`MetricsObserver` export.
+
+Because both engines share one ``random.Random`` stream, any
+divergence in RNG call *order* -- not just in results -- shows up as a
+mismatch, which is what makes this a proof of equivalence rather than
+a statistical comparison.  The quick matrix runs everywhere; the
+exhaustive topology x traffic x load x seed sweep carries the ``slow``
+marker and runs in the CI bench job.
+"""
+
+import json
+
+import pytest
+
+from repro.core.rfc import rfc_with_updown
+from repro.faults.switches import links_of_switches
+from repro.obs import MetricsObserver
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+BASE = SimulationParams(measure_cycles=300, warmup_cycles=100, seed=5)
+
+
+def run_pair(
+    topo,
+    traffic_name,
+    load,
+    params,
+    removed_links=None,
+    with_observer=False,
+    trace_limit=0,
+):
+    """Run one point on both engines; returns (ref_sim, fast_sim)."""
+    sims = []
+    for fast in (False, True):
+        traffic = make_traffic(
+            traffic_name, topo.num_terminals, rng=params.seed + 1
+        )
+        sim = Simulator(
+            topo,
+            traffic,
+            load,
+            params.scaled(fast_path=fast),
+            removed_links,
+            trace_limit=trace_limit,
+            observer=MetricsObserver() if with_observer else None,
+        )
+        sim.result = sim.run()
+        sims.append(sim)
+    return sims
+
+
+def assert_identical(ref, fast):
+    """The full bit-for-bit contract between the two engines."""
+    assert ref.result == fast.result
+    assert ref.ch_busy_cycles == fast.ch_busy_cycles
+    assert ref.traces == fast.traces
+    assert ref.max_inject_queue == fast.max_inject_queue
+    assert ref.unroutable_packets == fast.unroutable_packets
+    # Shared post-run inspection must agree too (same channel state).
+    assert ref.link_utilization() == fast.link_utilization()
+    assert ref.batch_accepted_loads() == fast.batch_accepted_loads()
+    if ref.observer is not None:
+        ref_export = json.dumps(ref.observer.export(), sort_keys=True)
+        fast_export = json.dumps(fast.observer.export(), sort_keys=True)
+        assert ref_export == fast_export
+
+
+@pytest.fixture(scope="module")
+def topologies(cft_4_3, oft_q2_l2, rrn_16):
+    rfc, _ = rfc_with_updown(8, 16, 3, rng=7)
+    return {"rfc": rfc, "cft": cft_4_3, "oft": oft_q2_l2, "rrn": rrn_16}
+
+
+class TestQuickMatrix:
+    """Fast subset of the matrix -- runs in every dev invocation."""
+
+    @pytest.mark.parametrize("name", ["rfc", "cft", "oft", "rrn"])
+    def test_uniform_mid_load(self, topologies, name):
+        ref, fast = run_pair(topologies[name], "uniform", 0.5, BASE)
+        assert_identical(ref, fast)
+
+    @pytest.mark.parametrize(
+        "traffic", ["random-pairing", "fixed-random", "shuffle"]
+    )
+    def test_traffic_patterns(self, topologies, traffic):
+        ref, fast = run_pair(topologies["rfc"], traffic, 0.6, BASE)
+        assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("load", [0.1, 0.9])
+    def test_load_extremes(self, topologies, load):
+        ref, fast = run_pair(topologies["rfc"], "uniform", load, BASE)
+        assert_identical(ref, fast)
+
+
+class TestConfigVariants:
+    """Engine knobs that exercise distinct fast-path branches."""
+
+    def test_valiant(self, topologies):
+        params = BASE.scaled(valiant=True)
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.5, params)
+        assert_identical(ref, fast)
+
+    def test_valiant_two_vcs(self, topologies):
+        params = BASE.scaled(valiant=True, virtual_channels=2)
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.6, params)
+        assert_identical(ref, fast)
+
+    def test_adaptive_up_selection(self, topologies):
+        params = BASE.scaled(up_selection="adaptive")
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.7, params)
+        assert_identical(ref, fast)
+
+    def test_rotating_arbiter(self, topologies):
+        params = BASE.scaled(arbiter="rotating")
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.7, params)
+        assert_identical(ref, fast)
+
+    def test_multi_iteration_arbitration(self, topologies):
+        params = BASE.scaled(arbitration_iterations=3)
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.8, params)
+        assert_identical(ref, fast)
+
+    def test_nonminimal_routing(self, topologies):
+        params = BASE.scaled(minimal_routing=False)
+        ref, fast = run_pair(
+            topologies["rfc"], "random-pairing", 0.6, params
+        )
+        assert_identical(ref, fast)
+
+    def test_direct_adaptive_multi_iteration(self, topologies):
+        params = BASE.scaled(
+            up_selection="adaptive", arbitration_iterations=2
+        )
+        ref, fast = run_pair(topologies["rrn"], "uniform", 0.5, params)
+        assert_identical(ref, fast)
+
+    def test_single_phit_saturating(self, topologies):
+        params = BASE.scaled(packet_phits=1)
+        ref, fast = run_pair(topologies["rfc"], "uniform", 1.0, params)
+        assert_identical(ref, fast)
+
+    def test_longer_links(self, topologies):
+        params = BASE.scaled(link_latency=3)
+        ref, fast = run_pair(topologies["rfc"], "uniform", 0.6, params)
+        assert_identical(ref, fast)
+
+    def test_single_vc(self, topologies):
+        params = BASE.scaled(virtual_channels=1)
+        ref, fast = run_pair(topologies["rrn"], "uniform", 0.3, params)
+        assert_identical(ref, fast)
+
+
+class TestFaults:
+    """Pruned networks: CSR tables must mirror the pruned routers."""
+
+    def test_removed_links_rfc(self, topologies):
+        links = list(topologies["rfc"].links())
+        removed = [links[3], links[17], links[40]]
+        ref, fast = run_pair(
+            topologies["rfc"], "uniform", 0.6, BASE, removed_links=removed
+        )
+        assert_identical(ref, fast)
+
+    def test_removed_links_rrn(self, topologies):
+        links = list(topologies["rrn"].links())
+        removed = [links[1], links[9]]
+        ref, fast = run_pair(
+            topologies["rrn"], "uniform", 0.4, BASE, removed_links=removed
+        )
+        assert_identical(ref, fast)
+
+    def test_switch_fault_rfc(self, topologies):
+        """Whole-switch loss (all incident links removed) -- packets to
+        unreachable leaves are dropped identically by both engines."""
+        topo = topologies["rfc"]
+        dead = {topo.switch_id(1, 0), topo.switch_id(2, 1)}
+        removed = links_of_switches(topo, dead)
+        ref, fast = run_pair(
+            topo, "uniform", 0.5, BASE, removed_links=removed
+        )
+        assert_identical(ref, fast)
+
+    def test_switch_fault_with_unroutable_pairs(self, topologies):
+        """Killing every fabric switch over a leaf forces unroutable
+        drops; the drop accounting must match."""
+        topo = topologies["oft"]
+        dead = {topo.switch_id(1, 0)}
+        removed = links_of_switches(topo, dead)
+        ref, fast = run_pair(
+            topo, "uniform", 0.4, BASE, removed_links=removed
+        )
+        assert_identical(ref, fast)
+        assert ref.unroutable_packets == fast.unroutable_packets
+
+
+class TestInstrumented:
+    """Observer hooks must fire with identical payloads."""
+
+    def test_metrics_observer_rfc(self, topologies):
+        ref, fast = run_pair(
+            topologies["rfc"], "uniform", 0.6, BASE, with_observer=True
+        )
+        assert_identical(ref, fast)
+
+    def test_metrics_observer_direct(self, topologies):
+        ref, fast = run_pair(
+            topologies["rrn"], "uniform", 0.5, BASE, with_observer=True
+        )
+        assert_identical(ref, fast)
+
+    def test_metrics_observer_valiant_with_traces(self, topologies):
+        params = BASE.scaled(valiant=True)
+        ref, fast = run_pair(
+            topologies["rfc"],
+            "locality",
+            0.5,
+            params,
+            with_observer=True,
+            trace_limit=40,
+        )
+        assert_identical(ref, fast)
+
+    def test_traces_and_faults_together(self, topologies):
+        links = list(topologies["rfc"].links())
+        ref, fast = run_pair(
+            topologies["rfc"],
+            "uniform",
+            0.6,
+            BASE,
+            removed_links=[links[5]],
+            with_observer=True,
+            trace_limit=60,
+        )
+        assert_identical(ref, fast)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """The exhaustive sweep (CI bench job): topology x traffic x load
+    x seed, plus faulted and instrumented axes."""
+
+    @pytest.mark.parametrize("name", ["rfc", "cft", "oft", "rrn"])
+    @pytest.mark.parametrize(
+        "traffic", ["uniform", "random-pairing", "fixed-random"]
+    )
+    @pytest.mark.parametrize("load", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_matrix_point(self, topologies, name, traffic, load, seed):
+        params = BASE.scaled(seed=seed)
+        ref, fast = run_pair(topologies[name], traffic, load, params)
+        assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("name", ["rfc", "rrn"])
+    @pytest.mark.parametrize("seed", [2, 7])
+    def test_matrix_faulted_instrumented(self, topologies, name, seed):
+        topo = topologies[name]
+        links = list(topo.links())
+        removed = [links[seed], links[seed + 4]]
+        params = BASE.scaled(seed=seed)
+        ref, fast = run_pair(
+            topo,
+            "uniform",
+            0.6,
+            params,
+            removed_links=removed,
+            with_observer=True,
+            trace_limit=30,
+        )
+        assert_identical(ref, fast)

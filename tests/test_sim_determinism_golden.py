@@ -48,6 +48,16 @@ def test_load_sweep_matches_golden(topo, golden):
     assert [r.core_dict() for r in results] == golden
 
 
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_both_engines_match_golden(topo, golden, fast_path):
+    """The precomputed-route fast path and the reference engine each
+    reproduce the pre-fast-path snapshot -- pinning *both* engines to
+    the same bit-for-bit history, not just to each other."""
+    params = PARAMS.scaled(fast_path=fast_path)
+    results = load_sweep(topo, "uniform", LOADS, params)
+    assert [r.core_dict() for r in results] == golden
+
+
 def test_instrumented_sweep_matches_golden(topo, golden):
     """The pre-observability snapshot is reproduced even while a
     metrics observer watches every event."""

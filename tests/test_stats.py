@@ -51,3 +51,35 @@ class TestSimResult:
         stats = SimStats(warmup=0, horizon=10)
         result = SimResult.from_stats(stats, 0.1, 4, "uniform", "t")
         assert "uniform" in result.row()
+
+
+class TestZeroDenominatorGuards:
+    """Degenerate windows must report zeros, not ZeroDivisionError."""
+
+    def test_from_stats_zero_cycle_window(self):
+        stats = SimStats(warmup=100, horizon=100)
+        result = SimResult.from_stats(stats, 0.5, 8, "uniform", "t")
+        assert result.accepted_load == 0.0
+        assert math.isnan(result.avg_latency)
+
+    def test_from_stats_zero_terminals(self):
+        stats = SimStats(warmup=0, horizon=10)
+        result = SimResult.from_stats(stats, 0.5, 0, "uniform", "t")
+        assert result.accepted_load == 0.0
+
+    def test_batch_accepted_loads_zero_window(self):
+        stats = SimStats(warmup=50, horizon=50)
+        packet = Packet(0, 1, created=40)
+        stats.on_delivered(packet, 50, packet_phits=16)
+        assert stats.batch_phits  # a batch was recorded...
+        # ...and reading it back with a zero-cycle window is zeros.
+        assert stats.batch_accepted_loads(8) == [0.0] * stats.num_batches
+
+    def test_batch_accepted_loads_zero_terminals(self):
+        stats = SimStats(warmup=0, horizon=100)
+        stats.on_delivered(Packet(0, 1, created=10), 20, packet_phits=16)
+        assert stats.batch_accepted_loads(0) == [0.0] * stats.num_batches
+
+    def test_batch_accepted_loads_no_traffic(self):
+        stats = SimStats(warmup=0, horizon=100)
+        assert stats.batch_accepted_loads(8) == []
