@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Engine performance regression harness -> BENCH_engine.json.
+"""Performance regression harness -> BENCH_engine.json + BENCH_graphs.json.
 
-Benchmarks the reference engine against the precomputed-route fast
-path (``engines`` section, with the speedup ratio), then runs the fast
-path three ways -- bare, metrics-instrumented, and metrics+trace --
-recording simulated cycles per wall-second, delivered packets per
-second, peak RSS and the observability overhead percentages.  Both
-engines must produce identical result signatures; the script fails on
-any drift.  The JSON output gives future PRs a perf trajectory: run
-before and after an engine change and compare ``cycles_per_sec``.
+Two benchmark families, both built on the repo's bit-for-bit
+two-engine contract (the accelerated path must reproduce the reference
+exactly; the script fails on any signature drift):
+
+* **engine** -- the cycle-level simulator's reference engine against
+  the precomputed-route fast path, plus the observability overhead of
+  the metrics / metrics+trace observers (``BENCH_engine.json``);
+* **graphs** -- the pure-Python graph-analysis layer against the numpy
+  kernels of :mod:`repro.accel` on a large RFC: all-sources batched
+  BFS (diameter / average distance) and the packed-bitset ancestor
+  sweeps driving the fault-threshold binary search
+  (``BENCH_graphs.json``).
 
     PYTHONPATH=src python scripts/bench_regression.py [--out PATH]
-        [--repeats N] [--quick]
+        [--graphs-out PATH] [--repeats N] [--quick]
 
 The workload numbers are deterministic (fixed seeds); the timings are
 hardware-dependent, so compare ratios on one machine, not absolute
@@ -170,12 +174,139 @@ def bench(repeats: int, quick: bool) -> dict:
     }
 
 
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Best wall time over ``repeats`` calls; asserts repeat determinism."""
+    best = float("inf")
+    value = None
+    for rep in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+        if rep == 0:
+            value = result
+        elif result != value:
+            raise AssertionError("non-deterministic repeat in graphs bench")
+    return best, value
+
+
+def bench_graphs(repeats: int, quick: bool) -> dict:
+    """Reference vs accel on the analysis kernels -> ``graphs`` payload.
+
+    Signature drift between the engines (diameter, mean distance,
+    coverage fraction, fault threshold) raises; speedups are recorded
+    for the perf trajectory.  The quick config keeps the reference
+    paths CI-sized; the full config is the large-RFC measurement the
+    acceptance targets refer to (>=4x all-sources BFS, >=5x ancestor
+    sweeps).
+    """
+    from repro.core.ancestors import stages_of, updown_reachable_fraction
+    from repro.core.rfc import radix_regular_rfc
+    from repro.faults.removal import shuffled_links
+    from repro.faults.updown_survival import order_threshold
+    from repro.graphs.metrics import average_distance, diameter
+
+    if quick:
+        bfs_cfg = (8, 128, 3)       # radix, n1, levels
+        sweep_cfg = (16, 512, 3)
+    else:
+        bfs_cfg = (16, 512, 3)
+        sweep_cfg = (32, 2048, 3)
+
+    sections: dict[str, dict] = {}
+
+    # All-sources batched BFS: diameter + average distance over every
+    # switch as a source, reference deque BFS vs packed-frontier BFS.
+    topo = radix_regular_rfc(*bfs_cfg, rng=11)
+    adjacency = topo.adjacency()
+    times: dict[str, float] = {}
+    values: dict[str, tuple] = {}
+    for name, accel in (("reference", False), ("accel", True)):
+        times[name], values[name] = _best_of(
+            lambda accel=accel: (
+                diameter(adjacency, accel=accel),
+                average_distance(adjacency, accel=accel),
+            ),
+            repeats,
+        )
+    if values["reference"] != values["accel"]:
+        raise AssertionError(
+            "BFS engines drifted: "
+            f"{values['reference']} != {values['accel']}"
+        )
+    d, avg = values["accel"]
+    sections["bfs_all_sources"] = {
+        "config": {
+            "radix": bfs_cfg[0], "n1": bfs_cfg[1], "levels": bfs_cfg[2],
+            "switches": len(adjacency),
+        },
+        "signature": {"diameter": d, "average_distance": round(avg, 12)},
+        "reference_seconds": round(times["reference"], 4),
+        "accel_seconds": round(times["accel"], 4),
+        "speedup": round(times["reference"] / times["accel"], 2),
+    }
+
+    # Ancestor sweeps: the coverage fraction (one full sweep pair) and
+    # the fault-threshold binary search (the repeated masked-sweep
+    # workload the incremental prune path exists for).
+    topo = radix_regular_rfc(*sweep_cfg, rng=11)
+    stages = stages_of(topo)
+    order = shuffled_links(topo, rng=7)
+    times = {}
+    values = {}
+    for name, accel in (("reference", False), ("accel", True)):
+        times[name], values[name] = _best_of(
+            lambda accel=accel: (
+                round(
+                    updown_reachable_fraction(
+                        topo.level_sizes, stages, accel=accel
+                    ),
+                    12,
+                ),
+                order_threshold(topo, order, accel=accel),
+            ),
+            repeats,
+        )
+    if values["reference"] != values["accel"]:
+        raise AssertionError(
+            "sweep engines drifted: "
+            f"{values['reference']} != {values['accel']}"
+        )
+    fraction, threshold = values["accel"]
+    sections["ancestor_sweeps"] = {
+        "config": {
+            "radix": sweep_cfg[0], "n1": sweep_cfg[1],
+            "levels": sweep_cfg[2], "links": topo.num_links,
+        },
+        "signature": {
+            "coverage_fraction": fraction,
+            "fault_threshold": threshold,
+        },
+        "reference_seconds": round(times["reference"], 4),
+        "accel_seconds": round(times["accel"], 4),
+        "speedup": round(times["reference"] / times["accel"], 2),
+    }
+
+    return {
+        "benchmark": "graphs",
+        "quick": quick,
+        "repeats": repeats,
+        "sections": sections,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out", default=str(Path(__file__).resolve().parent.parent
                              / "BENCH_engine.json"),
         help="output path (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--graphs-out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_graphs.json"),
+        help="graphs-bench output path (default: repo-root "
+             "BENCH_graphs.json)",
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--quick", action="store_true",
@@ -197,6 +328,17 @@ def main(argv: list[str] | None = None) -> int:
           f"{payload['modes']['metrics+trace']['overhead_pct']}%, "
           f"peak RSS {payload['peak_rss_kb']:,} kB")
     print(f"wrote {out}")
+
+    graphs = bench_graphs(repeats=max(1, args.repeats), quick=args.quick)
+    graphs_out = Path(args.graphs_out)
+    graphs_out.write_text(
+        json.dumps(graphs, indent=1, sort_keys=True) + "\n"
+    )
+    for name, section in graphs["sections"].items():
+        print(f"{name}: accel {section['accel_seconds']}s vs reference "
+              f"{section['reference_seconds']}s "
+              f"({section['speedup']}x, identical signatures)")
+    print(f"wrote {graphs_out}")
     return 0
 
 

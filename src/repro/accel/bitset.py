@@ -1,0 +1,77 @@
+"""Packed uint64 bitset helpers shared by the numpy kernels.
+
+The pure-Python analyses represent leaf sets as Python big-ints (bit
+``i`` = leaf ``i``).  The accelerated kernels store the same sets as
+``uint64[rows, ceil(nbits / 64)]`` arrays -- word ``w`` of a row holds
+bits ``64 * w .. 64 * w + 63``, matching the little-endian byte order
+of the big-int so the two representations convert losslessly and the
+differential tests can demand exact integer equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = [
+    "words_for",
+    "pack_singletons",
+    "full_row",
+    "masks_to_ints",
+    "ints_to_masks",
+    "popcount",
+]
+
+_WORD = 64
+
+
+def words_for(nbits: int) -> int:
+    """Words needed to hold ``nbits`` bits (0 bits -> 0 words)."""
+    return (nbits + _WORD - 1) // _WORD
+
+
+def pack_singletons(n: int) -> NDArray[np.uint64]:
+    """``(n, words_for(n))`` array with row ``i`` holding only bit ``i``."""
+    out = np.zeros((n, words_for(n)), dtype=np.uint64)
+    idx = np.arange(n)
+    out[idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+    return out
+
+
+def full_row(nbits: int) -> NDArray[np.uint64]:
+    """One row with the low ``nbits`` bits set (trailing bits zero)."""
+    out = np.zeros(words_for(nbits), dtype=np.uint64)
+    out[: nbits // _WORD] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    rem = nbits % _WORD
+    if rem:
+        out[nbits // _WORD] = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+    return out
+
+
+def masks_to_ints(masks: NDArray[np.uint64]) -> list[int]:
+    """Rows of packed words -> Python big-ints (bit-for-bit)."""
+    le = np.ascontiguousarray(masks, dtype="<u8")
+    width = le.shape[1] * 8
+    raw = le.tobytes()
+    return [
+        int.from_bytes(raw[i * width : (i + 1) * width], "little")
+        for i in range(le.shape[0])
+    ]
+
+
+def ints_to_masks(values: list[int], nbits: int) -> NDArray[np.uint64]:
+    """Python big-ints -> packed rows (test/round-trip helper)."""
+    w = words_for(nbits)
+    out = np.zeros((len(values), w), dtype="<u8")
+    for i, v in enumerate(values):
+        row = v.to_bytes(w * 8, "little")
+        out[i] = np.frombuffer(row, dtype="<u8")
+    return out.astype(np.uint64, copy=False)
+
+
+def popcount(masks: NDArray[np.uint64]) -> NDArray[np.int64]:
+    """Per-row set-bit counts."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(masks).sum(axis=1).astype(np.int64)
+    as_bytes = np.ascontiguousarray(masks, dtype="<u8").view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64)

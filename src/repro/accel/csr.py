@@ -1,0 +1,119 @@
+"""Compressed-sparse-row adjacency for the numpy kernel layer.
+
+Every vectorized analysis in :mod:`repro.accel` reduces to one
+primitive: *for each vertex, OR (or MIN) a row-vector over its
+neighbors*.  :class:`CsrAdjacency` stores the neighbor lists once as
+two flat int32 arrays (``offsets``/``indices``) so that primitive can
+run as a single ``np.ufunc.reduceat`` call instead of a Python loop
+over edges.
+
+The representation is built once per graph -- from the plain
+``list[list[int]]`` adjacency produced by
+:meth:`FoldedClos.adjacency` / :meth:`DirectNetwork.adjacency` -- and
+is immutable; fault analyses express pruning as per-edge *keep* masks
+(see :func:`gather_or`) rather than by rebuilding the arrays.
+
+A ``reduceat`` subtlety this module hides: a segment whose start index
+equals the next start (an empty neighbor list) does not reduce to the
+identity element, it returns the operand row at the start index.  The
+kernels therefore reduce only the non-empty rows -- consecutive
+non-empty starts still delimit exactly one row's neighbors because the
+empty rows in between contribute no operand rows -- and scatter the
+results into a zero-initialized output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["CsrAdjacency", "gather_or", "gather_min"]
+
+
+@dataclass(frozen=True)
+class CsrAdjacency:
+    """Immutable CSR view of an undirected adjacency-list graph.
+
+    ``indices[offsets[v]:offsets[v + 1]]`` are the neighbors of vertex
+    ``v`` in the same order as the source adjacency lists.  ``offsets``
+    has ``num_vertices + 1`` entries; both arrays use fixed dtypes
+    (``intp`` offsets for ``reduceat``, int32 indices) so kernels never
+    re-cast per call.
+    """
+
+    num_vertices: int
+    offsets: NDArray[np.intp]
+    indices: NDArray[np.int32]
+    #: Vertices with at least one neighbor (reduceat operates on these).
+    nonempty: NDArray[np.intp] = field(repr=False)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "CsrAdjacency":
+        """Build from ``list``-of-``list`` adjacency (both directions listed)."""
+        n = len(adjacency)
+        degrees = np.fromiter(
+            (len(row) for row in adjacency), dtype=np.intp, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(degrees, out=offsets[1:])
+        indices = np.fromiter(
+            (t for row in adjacency for t in row),
+            dtype=np.int32,
+            count=int(offsets[-1]),
+        )
+        return cls(
+            num_vertices=n,
+            offsets=offsets,
+            indices=indices,
+            nonempty=np.nonzero(degrees)[0],
+        )
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge count (twice the cables for undirected graphs)."""
+        return int(self.offsets[-1])
+
+
+def gather_or(
+    csr: CsrAdjacency,
+    rows: NDArray[np.uint64],
+    keep: NDArray[np.bool_] | None = None,
+) -> NDArray[np.uint64]:
+    """Per-vertex OR of neighbor rows: ``out[v] = OR rows[u] for u adj v``.
+
+    ``rows`` is ``(num_vertices, W)`` packed-bitset words; vertices with
+    no neighbors get all-zero rows.  ``keep`` (aligned with
+    ``csr.indices``) zeroes the contribution of masked-out edges, which
+    is how fault analyses prune links without rebuilding the CSR --
+    OR-ing zero is the identity.
+    """
+    out = np.zeros((csr.num_vertices, rows.shape[1]), dtype=np.uint64)
+    if csr.nonempty.size == 0:
+        return out
+    gathered = rows[csr.indices]
+    if keep is not None:
+        gathered[~keep] = 0
+    out[csr.nonempty] = np.bitwise_or.reduceat(
+        gathered, csr.offsets[csr.nonempty], axis=0
+    )
+    return out
+
+
+def gather_min(
+    csr: CsrAdjacency, values: NDArray[np.int32]
+) -> NDArray[np.int32]:
+    """Per-vertex MIN over neighbor values (label-propagation primitive).
+
+    Vertices with no neighbors keep ``numpy.iinfo(int32).max`` so the
+    caller's ``minimum(self, neighbors)`` leaves isolated labels alone.
+    """
+    out = np.full(csr.num_vertices, np.iinfo(np.int32).max, dtype=np.int32)
+    if csr.nonempty.size == 0:
+        return out
+    out[csr.nonempty] = np.minimum.reduceat(
+        values[csr.indices], csr.offsets[csr.nonempty]
+    )
+    return out

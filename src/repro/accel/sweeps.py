@@ -1,0 +1,277 @@
+"""Packed-bitset ancestor sweeps over ``(level_sizes, up_stages)``.
+
+Vectorized twins of the big-int sweeps in :mod:`repro.core.ancestors`
+and of the ``U_j`` table construction in
+:class:`repro.routing.updown.UpDownRouter`:
+
+* the **descendant sweep** walks stages upward, OR-ing each upper
+  switch's down-neighbor leaf sets (grouped by upper endpoint);
+* the **coverage sweep** walks stages downward, OR-ing each lower
+  switch's up-neighbor root-coverage sets (grouped by lower endpoint);
+* the **reach tables** iterate the coverage recurrence once per ascent
+  budget ``j``, exactly like the router's reference construction.
+
+Each stage's edges are laid out flat once (:class:`StageSweeper`), with
+both groupings precomputed, so a sweep is one gather plus one
+``reduceat`` per stage.  Two layout decisions carry the performance:
+
+* mask arrays are held **transposed** -- ``(W, N)`` words-by-switches
+  -- because ``np.bitwise_or.reduceat`` along the last (contiguous)
+  axis is an order of magnitude faster than reducing axis 0 of the
+  natural ``(N, W)`` layout (the reduction then strides across rows);
+* every internal array carries one trailing always-zero **null
+  column**, and pruned edges are redirected there by index instead of
+  zeroing their gathered rows -- zero is the OR identity, so a masked
+  edge contributes nothing, and the mask costs one ``np.where`` over
+  edge indices rather than a scatter write into the gather buffer.
+
+Fault analyses therefore pass per-stage boolean *keep* masks instead
+of rebuilding pruned stage lists, which is what makes
+:func:`repro.faults.updown_survival.order_threshold`'s binary search
+incremental (one mask comparison per probe, no Python list rebuilds).
+Public methods return masks in the natural ``(N, W)`` layout expected
+by :mod:`repro.accel.bitset`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .bitset import full_row, popcount, words_for
+
+__all__ = ["StageSweeper"]
+
+StageAdjacency = Sequence[Sequence[Sequence[int]]]
+
+
+def _singletons_t(n: int) -> NDArray[np.uint64]:
+    """Transposed singleton masks: ``(W, n + 1)`` with a null column."""
+    out = np.zeros((words_for(n), n + 1), dtype=np.uint64)
+    idx = np.arange(n, dtype=np.intp)
+    out[idx >> 6, idx] = np.uint64(1) << (idx & 63).astype(np.uint64)
+    return out
+
+
+def _natural(masks_t: NDArray[np.uint64]) -> NDArray[np.uint64]:
+    """Back to the natural ``(N, W)`` layout, null column stripped."""
+    return np.ascontiguousarray(masks_t[:, :-1].T)
+
+
+class _StageEdges:
+    """One inter-level stage flattened for both reduction directions."""
+
+    __slots__ = (
+        "n_lo", "n_hi", "src", "dst", "down_src",
+        "up_starts", "up_rows", "down_perm", "down_starts", "down_rows",
+    )
+
+    def __init__(self, n_lo: int, n_hi: int, rows: Sequence[Sequence[int]]):
+        self.n_lo = n_lo
+        self.n_hi = n_hi
+        counts = np.fromiter(
+            (len(row) for row in rows), dtype=np.intp, count=n_lo
+        )
+        offsets = np.zeros(n_lo + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        edges = int(offsets[-1])
+        self.src = np.repeat(np.arange(n_lo, dtype=np.intp), counts)
+        self.dst = np.fromiter(
+            (t for row in rows for t in row), dtype=np.intp, count=edges
+        )
+        # Group by lower endpoint: edges are already in row order.
+        self.up_rows = np.nonzero(counts)[0]
+        self.up_starts = offsets[self.up_rows]
+        # Group by upper endpoint: stable sort keeps per-switch edge
+        # order deterministic.
+        self.down_perm = np.argsort(self.dst, kind="stable")
+        self.down_src = self.src[self.down_perm]
+        dst_counts = np.bincount(self.dst, minlength=n_hi).astype(np.intp)
+        down_offsets = np.zeros(n_hi + 1, dtype=np.intp)
+        np.cumsum(dst_counts, out=down_offsets[1:])
+        self.down_rows = np.nonzero(dst_counts)[0]
+        self.down_starts = down_offsets[self.down_rows]
+
+    def _reduce(
+        self,
+        masks_t: NDArray[np.uint64],
+        idx: NDArray[np.intp],
+        null: int,
+        keep: NDArray[np.bool_] | None,
+        starts: NDArray[np.intp],
+        rows: NDArray[np.intp],
+        n_out: int,
+    ) -> NDArray[np.uint64]:
+        out = np.zeros((masks_t.shape[0], n_out + 1), dtype=np.uint64)
+        if rows.size == 0:
+            return out
+        if keep is not None:
+            idx = np.where(keep, idx, null)
+        gathered = np.take(masks_t, idx, axis=1)
+        out[:, rows] = np.bitwise_or.reduceat(gathered, starts, axis=1)
+        return out
+
+    def or_up(
+        self,
+        lower_t: NDArray[np.uint64],
+        keep: NDArray[np.bool_] | None,
+    ) -> NDArray[np.uint64]:
+        """``out[t] = OR lower[s]`` over surviving edges ``s -> t``."""
+        return self._reduce(
+            lower_t,
+            self.down_src,
+            self.n_lo,
+            keep[self.down_perm] if keep is not None else None,
+            self.down_starts,
+            self.down_rows,
+            self.n_hi,
+        )
+
+    def or_down(
+        self,
+        upper_t: NDArray[np.uint64],
+        keep: NDArray[np.bool_] | None,
+    ) -> NDArray[np.uint64]:
+        """``out[s] = OR upper[t]`` over surviving edges ``s -> t``."""
+        return self._reduce(
+            upper_t, self.dst, self.n_hi, keep,
+            self.up_starts, self.up_rows, self.n_lo,
+        )
+
+
+class StageSweeper:
+    """Reusable packed-sweep engine for one ``(level_sizes, up_stages)``.
+
+    Construction cost is one pass over the stage lists; every sweep
+    afterwards is pure numpy.  ``keep_masks`` arguments, when given,
+    hold one boolean array per stage aligned with that stage's flat
+    edge order (row-major over ``up_stages[stage]``) -- ``False``
+    removes the edge from the sweep.
+    """
+
+    def __init__(
+        self, level_sizes: Sequence[int], up_stages: StageAdjacency
+    ) -> None:
+        if len(up_stages) != len(level_sizes) - 1:
+            raise ValueError("up_stages must have one entry per stage")
+        self.level_sizes = [int(n) for n in level_sizes]
+        self.n1 = self.level_sizes[0]
+        self.stages = [
+            _StageEdges(self.level_sizes[i], self.level_sizes[i + 1], rows)
+            for i, rows in enumerate(up_stages)
+        ]
+
+    # ------------------------------------------------------------------
+    # Core sweeps (internal: transposed layout with null column)
+    # ------------------------------------------------------------------
+    def _descend_t(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None
+    ) -> list[NDArray[np.uint64]]:
+        masks = [_singletons_t(self.n1)]
+        for i, stage in enumerate(self.stages):
+            keep = keep_masks[i] if keep_masks is not None else None
+            masks.append(stage.or_up(masks[i], keep))
+        return masks
+
+    def _cover_t(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None
+    ) -> NDArray[np.uint64]:
+        cover = self._descend_t(keep_masks)[-1]
+        for i in range(len(self.stages) - 1, -1, -1):
+            keep = keep_masks[i] if keep_masks is not None else None
+            cover = self.stages[i].or_down(cover, keep)
+        return cover | _singletons_t(self.n1)
+
+    # ------------------------------------------------------------------
+    # Public sweeps (natural ``(N, W)`` layout)
+    # ------------------------------------------------------------------
+    def descendant_masks(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None = None
+    ) -> list[NDArray[np.uint64]]:
+        """Per-level ``(N_level, W)`` packed descendant-leaf sets."""
+        return [_natural(m) for m in self._descend_t(keep_masks)]
+
+    def coverage_masks(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None = None
+    ) -> NDArray[np.uint64]:
+        """Per-leaf packed up*/down* coverage (own bit included)."""
+        return _natural(self._cover_t(keep_masks))
+
+    def has_updown(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None = None
+    ) -> bool:
+        """Whether every leaf pair keeps a common ancestor."""
+        if self.n1 == 0:
+            return True
+        cover = self._cover_t(keep_masks)
+        return bool(np.all(cover[:, :-1] == full_row(self.n1)[:, None]))
+
+    def reachable_fraction(
+        self, keep_masks: Sequence[NDArray[np.bool_]] | None = None
+    ) -> float:
+        """Fraction of ordered leaf pairs joined by an up*/down* path."""
+        if self.n1 < 2:
+            return 1.0
+        cover = self._cover_t(keep_masks)
+        covered = int(popcount(cover).sum()) - self.n1
+        return covered / (self.n1 * (self.n1 - 1))
+
+    def root_ancestor_masks(self) -> NDArray[np.uint64]:
+        """Per-leaf packed set of reachable root switches."""
+        masks = _singletons_t(self.level_sizes[-1])
+        for stage in reversed(self.stages):
+            masks = stage.or_down(masks, None)
+        return _natural(masks)
+
+    # ------------------------------------------------------------------
+    # Router tables
+    # ------------------------------------------------------------------
+    def reach_tables(self) -> list[list[NDArray[np.uint64]]]:
+        """``tables[level][j]`` = packed ``U_j`` masks, one row per switch.
+
+        ``U_0`` is the descendant sweep; ``U_j`` at a level is the OR of
+        ``U_{j-1}`` over up-neighbors -- the exact recurrence of
+        :meth:`UpDownRouter._build_tables`, so converting these rows to
+        big-ints reproduces the reference ``_reach`` bit for bit.
+        Level ``L`` has entries for ``j = 0 .. levels - 1 - L``.
+        """
+        levels = len(self.level_sizes)
+        descend = self._descend_t(None)
+        tables_t: list[list[NDArray[np.uint64]]] = [
+            [descend[level]] for level in range(levels)
+        ]
+        for j in range(1, levels):
+            for level in range(levels - j):
+                tables_t[level].append(
+                    self.stages[level].or_down(tables_t[level + 1][j - 1], None)
+                )
+        return [[_natural(t) for t in per_level] for per_level in tables_t]
+
+    # ------------------------------------------------------------------
+    # Incremental pruning
+    # ------------------------------------------------------------------
+    def keep_masks_for_positions(
+        self,
+        positions: Sequence[NDArray[np.int64]],
+        threshold: int,
+    ) -> list[NDArray[np.bool_]]:
+        """Keep masks for "first ``threshold`` failures applied".
+
+        ``positions[stage][e]`` is the failure-order index of stage
+        edge ``e`` (``len(order)`` and beyond = never fails); an edge
+        survives while its position is ``>= threshold``.  Binary
+        searches re-derive the masks per probe with one comparison per
+        edge -- no stage lists are rebuilt.
+        """
+        return [pos >= threshold for pos in positions]
+
+    def edge_keys(self) -> list[tuple[NDArray[np.intp], NDArray[np.intp]]]:
+        """Per-stage ``(src, dst)`` level-local endpoint arrays.
+
+        Aligned with the flat edge order used by ``keep`` masks; used
+        to map failure orders (flat :class:`Link` ids) onto stage
+        edges.
+        """
+        return [(stage.src, stage.dst) for stage in self.stages]

@@ -15,8 +15,16 @@ linear bitset sweeps:
 ``M[leaf]`` is then exactly the set of leaves that ``leaf`` can reach
 by an up*/down* path, and the network is up/down routable iff every
 ``M[leaf]`` is the full leaf set.  Each sweep is
-O(links * N_1 / wordsize) thanks to Python's big-int bitwise ops, which
-handles the paper's largest instances (N_1 ~ 11k) in seconds.
+O(links * N_1 / wordsize).
+
+Two sweep engines sit behind every public function: the pure-Python
+big-int sweeps below (the reference oracle, ``accel=False``) and the
+packed ``uint64`` numpy kernels of :class:`repro.accel.StageSweeper`
+(``accel=True``, the default), proven exactly equal by the
+differential and Hypothesis suites.  The numpy path is what makes the
+paper's largest instances (N_1 ~ 11k) and the fault binary searches
+cheap; it falls back to the reference automatically when the kernels
+do not apply (no leaves, numpy unavailable).
 
 All functions take the low-level ``(level_sizes, up_stages)``
 representation so that fault experiments can pass pruned stages without
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import accel as _accel
 from ..topologies.base import FoldedClos
 
 __all__ = [
@@ -44,6 +53,10 @@ __all__ = [
 StageAdjacency = Sequence[Sequence[Sequence[int]]]
 
 
+def _use_accel(accel: bool, n1: int) -> bool:
+    return accel and n1 > 0 and _accel.is_available()
+
+
 def stages_of(topo: FoldedClos) -> list[list[tuple[int, ...]]]:
     """Extract ``up_stages`` rows from a topology (stage -> switch -> ups)."""
     stages: list[list[tuple[int, ...]]] = []
@@ -58,7 +71,9 @@ def stages_of(topo: FoldedClos) -> list[list[tuple[int, ...]]]:
 
 
 def descendant_leaf_sets(
-    level_sizes: Sequence[int], up_stages: StageAdjacency
+    level_sizes: Sequence[int],
+    up_stages: StageAdjacency,
+    accel: bool = True,
 ) -> list[list[int]]:
     """``D[level][s]`` = bitmask of leaves below switch ``s``.
 
@@ -68,6 +83,9 @@ def descendant_leaf_sets(
     """
     if len(up_stages) != len(level_sizes) - 1:
         raise ValueError("up_stages must have one entry per stage")
+    if _use_accel(accel, level_sizes[0]):
+        sweeper = _accel.StageSweeper(level_sizes, up_stages)
+        return [_accel.masks_to_ints(m) for m in sweeper.descendant_masks()]
     masks: list[list[int]] = [[1 << leaf for leaf in range(level_sizes[0])]]
     for stage, rows in enumerate(up_stages):
         upper = [0] * level_sizes[stage + 1]
@@ -81,7 +99,9 @@ def descendant_leaf_sets(
 
 
 def updown_coverage(
-    level_sizes: Sequence[int], up_stages: StageAdjacency
+    level_sizes: Sequence[int],
+    up_stages: StageAdjacency,
+    accel: bool = True,
 ) -> list[int]:
     """Per-leaf bitmask of leaves reachable by an up*/down* path.
 
@@ -89,7 +109,12 @@ def updown_coverage(
     mask contains the leaf's own bit even in a fully disconnected
     network.
     """
-    masks = descendant_leaf_sets(level_sizes, up_stages)
+    if len(up_stages) != len(level_sizes) - 1:
+        raise ValueError("up_stages must have one entry per stage")
+    if _use_accel(accel, level_sizes[0]):
+        sweeper = _accel.StageSweeper(level_sizes, up_stages)
+        return _accel.masks_to_ints(sweeper.coverage_masks())
+    masks = descendant_leaf_sets(level_sizes, up_stages, accel=False)
     # Downward sweep: start at roots with their own descendant sets.
     cover = list(masks[-1])
     for stage in range(len(up_stages) - 1, -1, -1):
@@ -105,16 +130,26 @@ def updown_coverage(
 
 
 def has_updown_routing(
-    level_sizes: Sequence[int], up_stages: StageAdjacency
+    level_sizes: Sequence[int],
+    up_stages: StageAdjacency,
+    accel: bool = True,
 ) -> bool:
     """Whether every pair of leaves has a common ancestor."""
     n1 = level_sizes[0]
+    if _use_accel(accel, n1):
+        if len(up_stages) != len(level_sizes) - 1:
+            raise ValueError("up_stages must have one entry per stage")
+        return _accel.StageSweeper(level_sizes, up_stages).has_updown()
     full = (1 << n1) - 1
-    return all(c == full for c in updown_coverage(level_sizes, up_stages))
+    return all(
+        c == full for c in updown_coverage(level_sizes, up_stages, accel=False)
+    )
 
 
 def updown_reachable_fraction(
-    level_sizes: Sequence[int], up_stages: StageAdjacency
+    level_sizes: Sequence[int],
+    up_stages: StageAdjacency,
+    accel: bool = True,
 ) -> float:
     """Fraction of ordered leaf pairs joined by an up*/down* path.
 
@@ -124,16 +159,28 @@ def updown_reachable_fraction(
     n1 = level_sizes[0]
     if n1 < 2:
         return 1.0
+    if _use_accel(accel, n1):
+        if len(up_stages) != len(level_sizes) - 1:
+            raise ValueError("up_stages must have one entry per stage")
+        return _accel.StageSweeper(level_sizes, up_stages).reachable_fraction()
     covered = sum(
-        c.bit_count() - 1 for c in updown_coverage(level_sizes, up_stages)
+        c.bit_count() - 1
+        for c in updown_coverage(level_sizes, up_stages, accel=False)
     )
     return covered / (n1 * (n1 - 1))
 
 
 def root_ancestor_sets(
-    level_sizes: Sequence[int], up_stages: StageAdjacency
+    level_sizes: Sequence[int],
+    up_stages: StageAdjacency,
+    accel: bool = True,
 ) -> list[int]:
     """Per-leaf bitmask (over root indices) of reachable root switches."""
+    if _use_accel(accel, level_sizes[-1]):
+        if len(up_stages) != len(level_sizes) - 1:
+            raise ValueError("up_stages must have one entry per stage")
+        sweeper = _accel.StageSweeper(level_sizes, up_stages)
+        return _accel.masks_to_ints(sweeper.root_ancestor_masks())
     num_levels = len(level_sizes)
     masks = [1 << r for r in range(level_sizes[-1])]
     for stage in range(num_levels - 2, -1, -1):
@@ -152,8 +199,8 @@ def root_ancestor_sets(
 # Topology-object conveniences
 # ----------------------------------------------------------------------
 
-def has_updown_routing_of(topo: FoldedClos) -> bool:
-    return has_updown_routing(topo.level_sizes, stages_of(topo))
+def has_updown_routing_of(topo: FoldedClos, accel: bool = True) -> bool:
+    return has_updown_routing(topo.level_sizes, stages_of(topo), accel=accel)
 
 
 def common_ancestors_of(

@@ -29,10 +29,18 @@ __all__ = ["run"]
 DEFAULT_RADIX = 12
 
 
-def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+def run(
+    quick: bool = True, seed: int = 0, executor=None, accel: bool = True
+) -> Table:
     """Fault-tolerance sweep; ``executor`` fans the per-topology trial
     batches (random failure orders are still drawn serially from one
-    stream, so results match the historical serial run exactly)."""
+    stream, so results match the historical serial run exactly).
+
+    ``accel`` selects the sweep engine for the threshold binary
+    searches: the incremental masked packed-bitset sweeps of
+    :mod:`repro.accel` by default, the pure-Python pruned-stage-list
+    reference with ``accel=False``.  Thresholds are identical either
+    way."""
     radix = DEFAULT_RADIX
     rng = random.Random(seed)
     if quick:
@@ -63,7 +71,8 @@ def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
                     continue
                 topo, _ = rfc_with_updown(radix, n1, levels, rng=rng)
                 survival = updown_fault_tolerance(
-                    topo, trials=trials, rng=rng, executor=executor
+                    topo, trials=trials, rng=rng, executor=executor,
+                    accel=accel,
                 )
                 table.add(
                     "RFC", levels, topo.num_terminals, topo.num_links,
@@ -72,7 +81,7 @@ def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
         for levels in cft_levels:
             cft = commodity_fat_tree(radix, levels)
             survival = updown_fault_tolerance(
-                cft, trials=trials, rng=rng, executor=executor
+                cft, trials=trials, rng=rng, executor=executor, accel=accel
             )
             table.add(
                 "CFT", levels, cft.num_terminals, cft.num_links,
@@ -81,7 +90,8 @@ def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
         for q, levels in oft_specs:
             oft = orthogonal_fat_tree(q, levels)
             survival = updown_fault_tolerance(
-                oft, trials=max(2, trials // 3), rng=rng, executor=executor
+                oft, trials=max(2, trials // 3), rng=rng,
+                executor=executor, accel=accel,
             )
             table.add(
                 "OFT", levels, oft.num_terminals, oft.num_links,

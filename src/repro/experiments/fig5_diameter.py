@@ -30,7 +30,7 @@ __all__ = ["run", "empirical_check"]
 DEFAULT_RADIX = 36
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
+def run(quick: bool = True, seed: int = 0, accel: bool = True) -> Table:
     radix = DEFAULT_RADIX
     terminal_counts = [
         100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
@@ -53,13 +53,20 @@ def run(quick: bool = True, seed: int = 0) -> Table:
         f"{rfc_max_terminals(radix, 3):,} terminals (paper: ~202,554)."
     )
     if quick:
-        check = empirical_check(radix=10, levels=2, seed=seed)
+        check = empirical_check(radix=10, levels=2, seed=seed, accel=accel)
         table.note(check)
     return table
 
 
-def empirical_check(radix: int, levels: int, seed: int = 0) -> str:
-    """Generate an RFC at the size limit; verify diameter = 2(l-1)."""
+def empirical_check(
+    radix: int, levels: int, seed: int = 0, accel: bool = True
+) -> str:
+    """Generate an RFC at the size limit; verify diameter = 2(l-1).
+
+    ``accel`` selects the BFS engine for the diameter measurement (the
+    batched :mod:`repro.accel` kernels by default; the pure-Python
+    reference with ``accel=False``) -- both produce the same number.
+    """
     from ..core.theory import rfc_max_leaves
 
     n1 = rfc_max_leaves(radix, levels)
@@ -67,7 +74,9 @@ def empirical_check(radix: int, levels: int, seed: int = 0) -> str:
         radix, n1, levels, rng=random.Random(seed), max_attempts=128
     )
     measured = leaf_diameter(
-        topo.adjacency(), [topo.switch_id(0, i) for i in range(n1)]
+        topo.adjacency(),
+        [topo.switch_id(0, i) for i in range(n1)],
+        accel=accel,
     )
     return (
         f"empirical: RFC(R={radix}, N1={n1}, l={levels}) generated in "

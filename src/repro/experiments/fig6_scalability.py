@@ -5,19 +5,48 @@ reproducing Section 4.3's closed forms.  Expected shape (asserted in
 tests): OFT scales best (an l-level OFT at least matches the
 (l+1)-level CFT), RFC sits close to the RRN of equal diameter and far
 above the CFT.
+
+The empirical check cross-validates one RFC point: an instance built
+at the Theorem 4.2 size limit must realize the closed-form terminal
+count *and* be up/down routable, verified with the packed-bitset
+ancestor sweeps from :mod:`repro.accel` (``accel=False`` reruns the
+big-int reference).
 """
 
 from __future__ import annotations
 
+import random
+
 from ..core.theory import scalability_point
 from .common import Table
 
-__all__ = ["run"]
+__all__ = ["run", "empirical_check"]
 
 TOPOLOGIES = ("cft", "rfc", "rrn", "oft")
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
+def empirical_check(
+    radix: int, levels: int, seed: int = 0, accel: bool = True
+) -> str:
+    """Generate an RFC at the scalability point; verify it delivers."""
+    from ..core.ancestors import has_updown_routing_of
+    from ..core.rfc import rfc_with_updown
+    from ..core.theory import rfc_max_leaves
+
+    n1 = rfc_max_leaves(radix, levels)
+    topo, _ = rfc_with_updown(
+        radix, n1, levels, rng=random.Random(seed), max_attempts=128
+    )
+    expected = scalability_point("rfc", radix, levels)
+    routable = has_updown_routing_of(topo, accel=accel)
+    return (
+        f"empirical: RFC(R={radix}, l={levels}) at the size limit has "
+        f"{topo.num_terminals} terminals (closed form: {expected}), "
+        f"up/down routable: {routable}"
+    )
+
+
+def run(quick: bool = True, seed: int = 0, accel: bool = True) -> Table:
     radii = (8, 12, 16, 24, 36, 48, 64) if quick else tuple(range(8, 68, 4))
     table = Table(
         title="Figure 6: compute nodes vs radix (levels 2/3/4)",
@@ -38,4 +67,6 @@ def run(quick: bool = True, seed: int = 0) -> Table:
         "T(OFT)=2(q+1)(q^2+q+1)^(l-1); T(RRN) from delta^D=2NlnN with "
         "the Section 4.3 port split."
     )
+    if quick:
+        table.note(empirical_check(radix=10, levels=2, seed=seed, accel=accel))
     return table

@@ -5,6 +5,12 @@ time normalized by ``N * Delta * ln(Delta)``; an approximately constant
 column is the theorem's claim.  (pytest-benchmark gives the precise
 timing harness in ``benchmarks/bench_generation.py``; this experiment
 is the human-readable trend table.)
+
+Each grid point also times a connectivity verification of the
+generated regular graph through the batched-BFS kernels of
+:mod:`repro.accel` (``check s`` column) -- evidence that analyzing an
+instance now costs a small fraction of generating it, which is what
+keeps generate-and-test loops generation-bound.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import math
 import random
 import time
 
+from ..graphs.connectivity import is_connected
 from ..topologies.random_graphs import (
     random_bipartite_graph,
     random_regular_graph,
@@ -31,7 +38,7 @@ def _time_call(fn, repeats: int = 3) -> float:
     return best
 
 
-def run(quick: bool = True, seed: int = 0) -> Table:
+def run(quick: bool = True, seed: int = 0, accel: bool = True) -> Table:
     rng = random.Random(seed)
     if quick:
         grid = [(200, 6), (400, 6), (400, 12), (800, 12)]
@@ -46,6 +53,7 @@ def run(quick: bool = True, seed: int = 0) -> Table:
             "N", "Delta",
             "regular s", "regular s/(N D lnD) 1e-9",
             "bipartite s", "bipartite s/(N D lnD) 1e-9",
+            "check s",
         ],
     )
     for n, degree in grid:
@@ -54,10 +62,14 @@ def run(quick: bool = True, seed: int = 0) -> Table:
         t_bip = _time_call(
             lambda: random_bipartite_graph(n, degree, n, degree, rng=rng)
         )
+        sample = random_regular_graph(n, degree, rng=rng)
+        adjacency = [sorted(nbrs) for nbrs in sample]
+        t_check = _time_call(lambda: is_connected(adjacency, accel=accel))
         table.add(
             n, degree,
             t_reg, 1e9 * t_reg / scale,
             t_bip, 1e9 * t_bip / scale,
+            t_check,
         )
     table.note(
         "The normalized columns should stay roughly flat across the grid "

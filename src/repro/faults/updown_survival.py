@@ -22,7 +22,8 @@ import random
 import statistics
 from dataclasses import dataclass
 
-from ..core.ancestors import has_updown_routing
+from .. import accel as _accel
+from ..core.ancestors import has_updown_routing, stages_of
 from ..topologies.base import FoldedClos, Link
 from .removal import failure_threshold, shuffled_links
 
@@ -69,7 +70,42 @@ def pruned_stages(
     return stages
 
 
-def order_threshold(topo: FoldedClos, order: list[Link]) -> int:
+def _stage_failure_positions(
+    topo: FoldedClos,
+    sweeper: "_accel.StageSweeper",
+    order: list[Link],
+):
+    """Failure-order index of every stage edge (``len(order)`` = never).
+
+    Maps the flat :class:`Link` failure order onto the sweeper's
+    per-stage edge arrays once, so each binary-search probe afterwards
+    is a single vectorized position comparison.
+    """
+    import numpy as np
+
+    first_position: dict[tuple[int, int], int] = {}
+    for position, link in enumerate(order):
+        first_position.setdefault((link.lo, link.hi), position)
+    never = len(order)
+    positions = []
+    for stage, (src, dst) in enumerate(sweeper.edge_keys()):
+        lo_off = topo.switch_id(stage, 0)
+        hi_off = topo.switch_id(stage + 1, 0)
+        lo = (src + lo_off).tolist()
+        hi = (dst + hi_off).tolist()
+        positions.append(
+            np.fromiter(
+                (first_position.get(pair, never) for pair in zip(lo, hi)),
+                dtype=np.int64,
+                count=len(lo),
+            )
+        )
+    return positions
+
+
+def order_threshold(
+    topo: FoldedClos, order: list[Link], accel: bool = True
+) -> int:
     """Failures tolerated along one fixed failure order.
 
     The largest ``k`` such that the network is still up/down routable
@@ -77,12 +113,32 @@ def order_threshold(topo: FoldedClos, order: list[Link]) -> int:
     arguments (no RNG), so trials over pre-drawn orders can run in any
     scheduling order -- including across a process pool -- without
     perturbing results.
+
+    With ``accel=True`` (the default) the monotone binary search runs
+    incrementally: the stage edges are packed once into a
+    :class:`repro.accel.StageSweeper` together with each edge's
+    position in ``order``, and every probe re-runs the packed ancestor
+    sweep on a masked edge array instead of rebuilding pruned Python
+    stage lists.  Thresholds are bit-for-bit identical to the
+    reference path (``accel=False``).
     """
     sizes = topo.level_sizes
 
-    def still_ok(k: int) -> bool:
-        removed = set(order[:k])
-        return has_updown_routing(sizes, pruned_stages(topo, removed))
+    if accel and sizes[0] > 0 and _accel.is_available():
+        sweeper = _accel.StageSweeper(sizes, stages_of(topo))
+        positions = _stage_failure_positions(topo, sweeper, order)
+
+        def still_ok(k: int) -> bool:
+            keep = sweeper.keep_masks_for_positions(positions, k)
+            return sweeper.has_updown(keep)
+
+    else:
+
+        def still_ok(k: int) -> bool:
+            removed = set(order[:k])
+            return has_updown_routing(
+                sizes, pruned_stages(topo, removed), accel=accel
+            )
 
     return failure_threshold(len(order), still_ok) - 1
 
@@ -90,13 +146,14 @@ def order_threshold(topo: FoldedClos, order: list[Link]) -> int:
 def updown_trial(
     topo: FoldedClos,
     rng: random.Random | int | None = None,
+    accel: bool = True,
 ) -> int:
     """Failures tolerated before up/down routing breaks (one order).
 
     Returns the largest ``k`` such that the network is still up/down
     routable after the first ``k`` failures.
     """
-    return order_threshold(topo, shuffled_links(topo, rng=rng))
+    return order_threshold(topo, shuffled_links(topo, rng=rng), accel=accel)
 
 
 def updown_fault_tolerance(
@@ -104,6 +161,7 @@ def updown_fault_tolerance(
     trials: int = 20,
     rng: random.Random | int | None = None,
     executor=None,
+    accel: bool = True,
 ) -> UpdownSurvival:
     """Mean fraction of links tolerable while keeping up/down routing.
 
@@ -122,7 +180,9 @@ def updown_fault_tolerance(
     total = topo.num_links
     orders = [shuffled_links(topo, rng=rand) for _ in range(trials)]
     runner = executor if executor is not None else get_executor()
-    thresholds = runner.map(order_threshold, [(topo, order) for order in orders])
+    thresholds = runner.map(
+        order_threshold, [(topo, order, accel) for order in orders]
+    )
     fractions = [t / total for t in thresholds]
     return UpdownSurvival(
         mean_fraction=statistics.fmean(fractions),

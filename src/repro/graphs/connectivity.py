@@ -4,12 +4,22 @@ Supports the paper's resiliency study (Section 7): how many randomly
 removed links does it take to disconnect a network's switch graph, and
 does the surviving graph still connect all *leaf* switches (the
 property that matters to compute nodes).
+
+Like :mod:`repro.graphs.metrics`, every function carries an
+``accel=True`` default that routes through the numpy kernels in
+:mod:`repro.accel` -- packed-frontier BFS for reachability and
+min-label propagation for component labelling -- with the pure-Python
+implementation kept as the bit-for-bit reference oracle
+(``accel=False``), and an automatic fallback when the kernels do not
+apply.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Iterable, Sequence
+
+from .. import accel as _accel
 
 __all__ = [
     "connected_components",
@@ -19,11 +29,38 @@ __all__ = [
 ]
 
 
+def _use_accel(accel: bool, n: int) -> bool:
+    return accel and n > 0 and _accel.is_available()
+
+
 def connected_components(
     adjacency: Sequence[Sequence[int]],
+    accel: bool = True,
 ) -> list[list[int]]:
-    """Connected components as lists of vertex ids (sorted, stable)."""
+    """Connected components as lists of vertex ids (sorted, stable).
+
+    Components are ordered by their smallest vertex id -- the same
+    order the reference scan discovers them in.
+    """
     n = len(adjacency)
+    if _use_accel(accel, n):
+        import numpy as np
+
+        csr = _accel.CsrAdjacency.from_adjacency(adjacency)
+        labels = np.arange(n, dtype=np.int32)
+        while True:
+            relaxed = np.minimum(labels, _accel.gather_min(csr, labels))
+            if np.array_equal(relaxed, labels):
+                break
+            labels = relaxed
+        # Stable sort by label: members stay in ascending-id order and
+        # labels (= component minima) ascend, matching the reference.
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+        return [
+            chunk.tolist() for chunk in np.split(order, boundaries)
+        ]
     seen = [False] * n
     components: list[list[int]] = []
     for start in range(n):
@@ -43,11 +80,16 @@ def connected_components(
     return components
 
 
-def is_connected(adjacency: Sequence[Sequence[int]]) -> bool:
+def is_connected(
+    adjacency: Sequence[Sequence[int]], accel: bool = True
+) -> bool:
     """Whether the whole switch graph is a single component."""
     n = len(adjacency)
     if n == 0:
         return True
+    if _use_accel(accel, n):
+        csr = _accel.CsrAdjacency.from_adjacency(adjacency)
+        return int((_accel.bfs_distances(csr, 0) >= 0).sum()) == n
     seen = [False] * n
     seen[0] = True
     queue = deque([0])
@@ -63,7 +105,9 @@ def is_connected(adjacency: Sequence[Sequence[int]]) -> bool:
 
 
 def connects_all(
-    adjacency: Sequence[Sequence[int]], vertices: Iterable[int]
+    adjacency: Sequence[Sequence[int]],
+    vertices: Iterable[int],
+    accel: bool = True,
 ) -> bool:
     """Whether all of ``vertices`` lie in one connected component.
 
@@ -74,6 +118,13 @@ def connects_all(
     wanted = set(vertices)
     if len(wanted) <= 1:
         return True
+    if _use_accel(accel, len(adjacency)):
+        import numpy as np
+
+        targets = sorted(wanted)
+        csr = _accel.CsrAdjacency.from_adjacency(adjacency)
+        dist = _accel.bfs_distances(csr, targets[0])
+        return bool(np.all(dist[np.asarray(targets, dtype=np.intp)] >= 0))
     start = next(iter(wanted))
     seen = [False] * len(adjacency)
     seen[start] = True

@@ -12,10 +12,15 @@ built on top of it.  Three families are flagged:
 * RNG constructors with no seed: ``random.Random()``,
   ``numpy.random.default_rng()``, ``numpy.random.RandomState()``
   seed themselves from OS entropy, and ``random.SystemRandom`` is
-  entropy by design.
+  entropy by design.  A literal ``None`` seed (``random.Random(None)``
+  and friends) is the same entropy self-seeding spelled explicitly,
+  so it is flagged too -- it hid a nondeterministic sampling default
+  in ``repro.graphs.metrics`` for several releases.
 
 Seeded constructions (``random.Random(seed)``, ``default_rng(seed)``)
-and calls on instances (``rand.shuffle(...)``) pass clean.
+and calls on instances (``rand.shuffle(...)``) pass clean; a seed
+*variable* that may be ``None`` at runtime is not flagged (only the
+literal), since seed-or-None plumbing is how callers opt in.
 """
 
 from __future__ import annotations
@@ -51,11 +56,26 @@ _SEEDABLE_CTORS = frozenset({
 })
 
 
+def _is_none_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
 def _has_seed_argument(call: ast.Call) -> bool:
-    """Whether the constructor call passes any seed material."""
+    """Whether the constructor call passes real seed material.
+
+    A literal ``None`` does not count: ``random.Random(None)`` is
+    entropy self-seeding written out loud.  Non-literal expressions do
+    count -- they may be ``None`` at runtime, but flagging every
+    seed-or-None parameter would outlaw the standard plumbing pattern.
+    """
     if call.args:
-        return True
-    return any(kw.arg in ("seed", "x") or kw.arg is None for kw in call.keywords)
+        return not (len(call.args) == 1 and _is_none_literal(call.args[0]))
+    for kw in call.keywords:
+        if kw.arg in ("seed", "x"):
+            return not _is_none_literal(kw.value)
+        if kw.arg is None:
+            return True
+    return False
 
 
 @register

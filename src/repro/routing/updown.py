@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from .. import accel as _accel
 from ..topologies.base import FoldedClos
 
 __all__ = ["UpDownRouter", "RoutingError"]
@@ -47,6 +48,7 @@ class UpDownRouter:
         self,
         level_sizes: Sequence[int],
         up_stages: Sequence[Sequence[Sequence[int]]],
+        accel: bool = True,
     ) -> None:
         if len(up_stages) != len(level_sizes) - 1:
             raise ValueError("need one up-stage per level boundary")
@@ -62,19 +64,45 @@ class UpDownRouter:
                 for t in ups:
                     down[t].append(s)
             self._down.append([tuple(d) for d in down])
-        self._build_tables()
+        if accel and self.level_sizes[0] > 0 and _accel.is_available():
+            self._build_tables_accel()
+        else:
+            self._build_tables()
 
     @classmethod
-    def for_topology(cls, topo: FoldedClos) -> "UpDownRouter":
+    def for_topology(
+        cls, topo: FoldedClos, accel: bool = True
+    ) -> "UpDownRouter":
         stages = [
             [topo.up_neighbors(level, s) for s in range(topo.level_sizes[level])]
             for level in range(topo.num_levels - 1)
         ]
-        return cls(topo.level_sizes, stages)
+        return cls(topo.level_sizes, stages, accel=accel)
 
     # ------------------------------------------------------------------
     # Table construction
     # ------------------------------------------------------------------
+    def _build_tables_accel(self) -> None:
+        """Packed-bitset twin of :meth:`_build_tables`.
+
+        The :class:`repro.accel.StageSweeper` runs the same
+        ``U_j = union of U_{j-1} over up-neighbors`` recurrence on
+        ``uint64`` word arrays; converting each row back to a Python
+        big-int reproduces the reference ``_reach`` tables bit for bit
+        (asserted by ``tests/test_accel_differential.py``).
+        """
+        sweeper = _accel.StageSweeper(self.level_sizes, self._up)
+        packed = sweeper.reach_tables()
+        self._reach = []
+        for level in range(self.num_levels):
+            per_budget = [_accel.masks_to_ints(t) for t in packed[level]]
+            self._reach.append(
+                [
+                    [per_budget[j][s] for j in range(len(per_budget))]
+                    for s in range(self.level_sizes[level])
+                ]
+            )
+
     def _build_tables(self) -> None:
         levels = self.num_levels
         n1 = self.level_sizes[0]

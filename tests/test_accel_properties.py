@@ -1,0 +1,193 @@
+"""Property-based equivalence: accel kernels vs reference engines.
+
+Hypothesis drives randomized ``(level_sizes, up_stages)`` structures
+-- including ragged, sparse, pruned and entirely empty stages that no
+generator in the package would emit -- and random switch graphs, and
+demands exact agreement between the packed-bitset / batched-BFS
+kernels and the pure-Python references.  Runs under the shared
+``dev``/``ci`` profiles registered in ``conftest.py``.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import accel
+from repro.core.ancestors import (
+    descendant_leaf_sets,
+    has_updown_routing,
+    root_ancestor_sets,
+    updown_coverage,
+    updown_reachable_fraction,
+)
+from repro.graphs.connectivity import connected_components, is_connected
+from repro.graphs.metrics import bfs_distances
+from repro.routing.updown import UpDownRouter
+
+
+@st.composite
+def staged_networks(draw):
+    """A random ``(level_sizes, up_stages)`` pair, arbitrarily ragged.
+
+    Stages may be empty, switches may have no up-links, and upper
+    switches may be unreachable -- the full space the sweeps must
+    handle, not just well-formed folded Clos instances.
+    """
+    levels = draw(st.integers(min_value=1, max_value=4))
+    level_sizes = [
+        draw(st.integers(min_value=1, max_value=10)) for _ in range(levels)
+    ]
+    up_stages = []
+    for stage in range(levels - 1):
+        n_hi = level_sizes[stage + 1]
+        rows = []
+        for _ in range(level_sizes[stage]):
+            ups = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_hi - 1),
+                    max_size=min(n_hi, 4),
+                    unique=True,
+                )
+            )
+            rows.append(ups)
+        up_stages.append(rows)
+    return level_sizes, up_stages
+
+
+@st.composite
+def switch_graphs(draw):
+    """A random undirected adjacency list (possibly disconnected)."""
+    n = draw(st.integers(min_value=1, max_value=32))
+    adjacency = [set() for _ in range(n)]
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=3 * n,
+        )
+    )
+    for a, b in edges:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return [sorted(nbrs) for nbrs in adjacency]
+
+
+class TestSweepProperties:
+    @given(staged_networks())
+    def test_sweeps_match_reference(self, net):
+        level_sizes, up_stages = net
+        assert descendant_leaf_sets(level_sizes, up_stages, accel=True) == \
+            descendant_leaf_sets(level_sizes, up_stages, accel=False)
+        assert updown_coverage(level_sizes, up_stages, accel=True) == \
+            updown_coverage(level_sizes, up_stages, accel=False)
+        assert has_updown_routing(level_sizes, up_stages, accel=True) == \
+            has_updown_routing(level_sizes, up_stages, accel=False)
+        assert updown_reachable_fraction(
+            level_sizes, up_stages, accel=True
+        ) == updown_reachable_fraction(level_sizes, up_stages, accel=False)
+        assert root_ancestor_sets(level_sizes, up_stages, accel=True) == \
+            root_ancestor_sets(level_sizes, up_stages, accel=False)
+
+    @given(staged_networks(), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_pruned_sweeps_match_reference(self, net, seed):
+        # Deleting random edges from the Python stage lists must agree
+        # with the same deletion expressed either way.
+        level_sizes, up_stages = net
+        rand = random.Random(seed)
+        pruned = [
+            [[t for t in row if rand.random() > 0.4] for row in rows]
+            for rows in up_stages
+        ]
+        assert updown_coverage(level_sizes, pruned, accel=True) == \
+            updown_coverage(level_sizes, pruned, accel=False)
+        assert has_updown_routing(level_sizes, pruned, accel=True) == \
+            has_updown_routing(level_sizes, pruned, accel=False)
+
+    @given(staged_networks())
+    def test_masked_sweep_equals_list_pruning(self, net):
+        # A keep mask over the flat edge order must be exactly the
+        # same operation as pruning the corresponding list entries:
+        # drop every third edge in flat order, both ways.
+        level_sizes, up_stages = net
+        if not accel.is_available() or level_sizes[0] == 0:
+            return
+        import numpy as np
+
+        sweeper = accel.StageSweeper(level_sizes, up_stages)
+        keep_masks = []
+        pruned = []
+        flat = 0
+        for rows in up_stages:
+            kept_rows = []
+            stage_keep = []
+            for row in rows:
+                kept = []
+                for t in row:
+                    keep = flat % 3 != 2
+                    stage_keep.append(keep)
+                    if keep:
+                        kept.append(t)
+                    flat += 1
+                kept_rows.append(kept)
+            pruned.append(kept_rows)
+            keep_masks.append(np.asarray(stage_keep, dtype=bool))
+        assert accel.masks_to_ints(sweeper.coverage_masks(keep_masks)) == \
+            updown_coverage(level_sizes, pruned, accel=False)
+        assert sweeper.has_updown(keep_masks) == \
+            has_updown_routing(level_sizes, pruned, accel=False)
+
+    @given(staged_networks())
+    def test_router_tables_match(self, net):
+        level_sizes, up_stages = net
+        fast = UpDownRouter(level_sizes, up_stages, accel=True)
+        slow = UpDownRouter(level_sizes, up_stages, accel=False)
+        assert fast._reach == slow._reach
+
+
+class TestBfsProperties:
+    @given(switch_graphs())
+    def test_batched_bfs_matches_deque(self, adjacency):
+        for source in range(len(adjacency)):
+            assert bfs_distances(adjacency, source, accel=True) == \
+                bfs_distances(adjacency, source, accel=False)
+
+    @given(switch_graphs())
+    def test_batch_matrix_matches_singles(self, adjacency):
+        # One batched call over all sources == n independent BFS runs,
+        # including duplicate sources packed into one batch.
+        if not accel.is_available():
+            return
+        csr = accel.CsrAdjacency.from_adjacency(adjacency)
+        sources = list(range(len(adjacency))) + [0, 0]
+        matrix = accel.bfs_distances_batch(csr, sources)
+        for row, source in zip(matrix, sources):
+            assert row.tolist() == bfs_distances(
+                adjacency, source, accel=False
+            )
+
+    @given(switch_graphs())
+    def test_components_match(self, adjacency):
+        assert connected_components(adjacency, accel=True) == \
+            connected_components(adjacency, accel=False)
+        assert is_connected(adjacency, accel=True) == \
+            is_connected(adjacency, accel=False)
+
+
+class TestBitsetProperties:
+    @given(
+        st.lists(st.integers(min_value=0), max_size=8),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_masks_round_trip(self, values, nbits):
+        # ints -> packed words -> ints is lossless for any width that
+        # can hold the values.
+        if not accel.is_available():
+            return
+        needed = max((v.bit_length() for v in values), default=0)
+        nbits = max(nbits, needed, 1)
+        packed = accel.ints_to_masks(values, nbits)
+        assert accel.masks_to_ints(packed) == values

@@ -189,6 +189,40 @@ class TestRpr001Variants:
             """
         ) == []
 
+    def test_literal_none_seed_positional(self):
+        # The form that hid the nondeterministic sampling default in
+        # repro.graphs.metrics: entropy self-seeding written out loud.
+        assert codes_for(
+            """\
+            import random
+
+            def make():
+                return random.Random(None)
+            """
+        ) == ["RPR001"]
+
+    def test_literal_none_seed_keyword(self):
+        assert codes_for(
+            """\
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng(seed=None)
+            """
+        ) == ["RPR001"]
+
+    def test_seed_or_none_variable_clean(self):
+        # Runtime seed-or-None plumbing stays legal; only the literal
+        # None is flagged.
+        assert codes_for(
+            """\
+            import random
+
+            def make(rng=None):
+                return random.Random(rng)
+            """
+        ) == []
+
 
 class TestRpr002Variants:
     def test_subscript_key(self):

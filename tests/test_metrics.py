@@ -3,6 +3,7 @@
 import pytest
 
 from repro.graphs.metrics import (
+    DEFAULT_SAMPLE_SEED,
     UNREACHABLE,
     average_distance,
     bfs_distances,
@@ -11,6 +12,11 @@ from repro.graphs.metrics import (
     eccentricity,
     leaf_diameter,
     terminal_diameter,
+)
+from repro.topologies.base import FoldedClos
+
+ENGINES = pytest.mark.parametrize(
+    "accel", [True, False], ids=["accel", "reference"]
 )
 
 
@@ -60,6 +66,24 @@ class TestEccentricityDiameter:
         assert sampled <= 19
         assert sampled >= 10  # half the path is always visible
 
+    @ENGINES
+    def test_sampled_default_rng_is_deterministic(self, accel):
+        # Regression: sample= with rng omitted used to seed
+        # random.Random(None) from OS entropy, so repeated runs could
+        # disagree.  The default is now the fixed DEFAULT_SAMPLE_SEED.
+        adj = cycle_graph(30)
+        first = diameter(adj, sample=4, accel=accel)
+        assert all(
+            diameter(adj, sample=4, accel=accel) == first for _ in range(3)
+        )
+        assert first == diameter(
+            adj, sample=4, rng=DEFAULT_SAMPLE_SEED, accel=accel
+        )
+        avg = average_distance(adj, sample=4, accel=accel)
+        assert avg == average_distance(
+            adj, sample=4, rng=DEFAULT_SAMPLE_SEED, accel=accel
+        )
+
 
 class TestAverageDistance:
     def test_complete_graph(self):
@@ -76,9 +100,18 @@ class TestAverageDistance:
 
 
 class TestHistogram:
-    def test_path3(self):
-        hist = distance_histogram(path_graph(3))
-        assert hist == {1: 4, 2: 2}  # ordered pairs
+    @ENGINES
+    def test_path3_ordered_pair_contract(self, accel):
+        # The documented contract: every unordered pair {a, b} counts
+        # twice under the default all-sources scan.  The 3-vertex path
+        # has unordered distances (0,1)=1 (1,2)=1 (0,2)=2.
+        hist = distance_histogram(path_graph(3), accel=accel)
+        assert hist == {1: 4, 2: 2}
+
+    @ENGINES
+    def test_subset_sources(self, accel):
+        hist = distance_histogram(path_graph(3), sources=[0], accel=accel)
+        assert hist == {1: 1, 2: 1}
 
 
 class TestLeafDiameter:
@@ -98,3 +131,40 @@ class TestLeafDiameter:
 
     def test_terminal_diameter(self, cft_4_3):
         assert terminal_diameter(cft_4_3) == 6 + 2 - 2  # 4 + 2 host hops
+
+
+class TestDegenerateNetworks:
+    """ValueError paths and the single-switch special case, both engines."""
+
+    @ENGINES
+    def test_eccentricity_disconnected_raises(self, accel):
+        adj = [[1], [0], [3], [2]]
+        with pytest.raises(ValueError, match="graph is disconnected"):
+            eccentricity(adj, 0, accel=accel)
+
+    @ENGINES
+    def test_leaf_diameter_disconnected_leaves_raise(self, accel):
+        adj = [[1], [0], [3], [2]]
+        with pytest.raises(ValueError, match="some leaf pair is disconnected"):
+            leaf_diameter(adj, [0, 2], accel=accel)
+
+    @ENGINES
+    def test_leaf_diameter_ignores_disconnected_non_leaves(self, accel):
+        # Only leaf pairs matter: a severed non-leaf fragment is fine.
+        adj = [[1], [0], [3], [2]]
+        assert leaf_diameter(adj, [0, 1], accel=accel) == 1
+
+    @ENGINES
+    def test_single_switch_leaf_diameter(self, accel):
+        assert leaf_diameter([[]], [0], accel=accel) == 0
+
+    @ENGINES
+    def test_single_switch_eccentricity(self, accel):
+        assert eccentricity([[]], 0, accel=accel) == 0
+
+    @ENGINES
+    def test_single_switch_terminal_diameter(self, accel):
+        # host -> switch -> host: the == 2 special case bypasses
+        # diameter() (which would see a 0-link graph).
+        solo = FoldedClos([1], [], hosts_per_leaf=2, radix=4)
+        assert terminal_diameter(solo, accel=accel) == 2
