@@ -6,8 +6,9 @@ two-engine contract (the accelerated path must reproduce the reference
 exactly; the script fails on any signature drift):
 
 * **engine** -- the cycle-level simulator's reference engine against
-  the precomputed-route fast path, plus the observability overhead of
-  the metrics / metrics+trace observers (``BENCH_engine.json``);
+  the precomputed-route fast path and the vectorized SoA engine, plus
+  the observability overhead of the metrics / metrics+trace observers
+  (``BENCH_engine.json``);
 * **graphs** -- the pure-Python graph-analysis layer against the numpy
   kernels of :mod:`repro.accel` on a large RFC: all-sources batched
   BFS (diameter / average distance) and the packed-bitset ancestor
@@ -16,6 +17,7 @@ exactly; the script fails on any signature drift):
 
     PYTHONPATH=src python scripts/bench_regression.py [--out PATH]
         [--graphs-out PATH] [--repeats N] [--quick]
+        [--min-vectorized-speedup X]
 
 The workload numbers are deterministic (fixed seeds); the timings are
 hardware-dependent, so compare ratios on one machine, not absolute
@@ -63,11 +65,12 @@ def bench(repeats: int, quick: bool) -> dict:
     )
     load = 0.7
 
-    # Reference vs fast path, bare runs.  Identical signatures are a
-    # hard requirement -- the fast path's contract is bit-for-bit.
+    # Reference vs fast path vs vectorized, bare runs.  Identical
+    # signatures are a hard requirement -- the accelerated engines'
+    # contract is bit-for-bit.
     engines: dict[str, dict] = {}
-    for engine in ("reference", "fast"):
-        eng_params = params.scaled(fast_path=engine == "fast")
+    for engine in ("reference", "fast", "vectorized"):
+        eng_params = params.scaled(engine=engine)
         elapsed = 0.0
         checksum = None
         for _ in range(repeats):
@@ -87,17 +90,20 @@ def bench(repeats: int, quick: bool) -> dict:
             "wall_seconds": round(elapsed, 4),
             "cycles_per_sec": round(cycles / elapsed, 1),
         }
-    if engines["reference"]["signature"] != engines["fast"]["signature"]:
-        raise AssertionError(
-            "fast path drifted from the reference engine: "
-            f"{engines['reference']['signature']} != "
-            f"{engines['fast']['signature']}"
+    for engine in ("fast", "vectorized"):
+        if engines[engine]["signature"] != engines["reference"]["signature"]:
+            raise AssertionError(
+                f"{engine} engine drifted from the reference engine: "
+                f"{engines['reference']['signature']} != "
+                f"{engines[engine]['signature']}"
+            )
+        engines[engine]["speedup_vs_reference"] = round(
+            engines[engine]["cycles_per_sec"]
+            / engines["reference"]["cycles_per_sec"],
+            2,
         )
-    engines["speedup"] = round(
-        engines["fast"]["cycles_per_sec"]
-        / engines["reference"]["cycles_per_sec"],
-        2,
-    )
+    # Back-compat alias used by older tooling: the fast path's ratio.
+    engines["speedup"] = engines["fast"]["speedup_vs_reference"]
 
     # Observability overhead, measured on the (default) fast path.
     modes: dict[str, dict] = {}
@@ -311,6 +317,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs (CI smoke)")
+    parser.add_argument(
+        "--min-vectorized-speedup", type=float, default=0.0,
+        help="fail unless the vectorized engine beats the reference "
+             "by at least this ratio (0 disables the gate)",
+    )
     args = parser.parse_args(argv)
 
     payload = bench(repeats=max(1, args.repeats), quick=args.quick)
@@ -318,9 +329,19 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
     engines = payload["engines"]
-    print(f"fast path: {engines['fast']['cycles_per_sec']:,.0f} cycles/sec "
-          f"vs reference {engines['reference']['cycles_per_sec']:,.0f} "
-          f"({engines['speedup']}x speedup, identical signatures)")
+    for engine in ("fast", "vectorized"):
+        print(f"{engine}: {engines[engine]['cycles_per_sec']:,.0f} "
+              f"cycles/sec vs reference "
+              f"{engines['reference']['cycles_per_sec']:,.0f} "
+              f"({engines[engine]['speedup_vs_reference']}x speedup, "
+              f"identical signatures)")
+    if args.min_vectorized_speedup > 0:
+        measured = engines["vectorized"]["speedup_vs_reference"]
+        if measured < args.min_vectorized_speedup:
+            raise AssertionError(
+                f"vectorized speedup {measured}x below the required "
+                f"floor {args.min_vectorized_speedup}x"
+            )
     bare = payload["modes"]["bare"]
     print(f"engine: {bare['cycles_per_sec']:,.0f} cycles/sec bare, "
           f"metrics overhead {payload['modes']['metrics']['overhead_pct']}%, "

@@ -49,6 +49,8 @@ __all__ = [
     "masks_to_ints",
     "ints_to_masks",
     "popcount",
+    "run_vectorized",
+    "build_padded_candidates",
 ]
 
 try:  # pragma: no cover - numpy is a hard dependency, but stay import-safe
@@ -74,6 +76,7 @@ if AVAILABLE:
         words_for,
     )
     from .csr import CsrAdjacency, gather_min, gather_or
+    from .sim import build_padded_candidates, run_vectorized
     from .sweeps import StageSweeper
 
 

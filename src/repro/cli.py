@@ -66,10 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cycles", type=int, default=2_000)
     sim.add_argument("--warmup", type=int, default=500)
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--engine", choices=["fast", "reference"],
+    sim.add_argument("--engine",
+                     choices=["fast", "reference", "vectorized"],
                      default="fast",
                      help="cycle-level engine: 'fast' (precomputed-route "
-                          "fast path, default) or 'reference' (the "
+                          "fast path, default), 'vectorized' "
+                          "(struct-of-arrays state with batched "
+                          "candidate gathering) or 'reference' (the "
                           "oracle); results are bit-for-bit identical")
     sim.add_argument("--trace", metavar="PATH", default=None,
                      help="write a JSONL event trace (inject/hop/eject/"
@@ -234,7 +237,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         measure_cycles=args.cycles,
         warmup_cycles=args.warmup,
         seed=args.seed,
-        fast_path=args.engine != "reference",
+        engine=args.engine,
     )
     traffic = make_traffic(args.traffic, topo.num_terminals,
                            rng=args.seed + 101)

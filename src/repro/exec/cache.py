@@ -79,8 +79,10 @@ def cache_key(
     params_payload = dataclasses.asdict(params)
     # Engine selection produces identical results by contract, so it
     # must not (and does not) influence the digest: caches written
-    # before the fast path existed keep hitting.
+    # before the fast path (or the vectorized engine) existed keep
+    # hitting.
     params_payload.pop("fast_path", None)
+    params_payload.pop("engine", None)
     payload = {
         "code": CODE_VERSION,
         "format": CACHE_FORMAT,

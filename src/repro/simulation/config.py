@@ -75,6 +75,15 @@ class SimulationParams:
         oracle for the differential test suite.  Because results are
         identical, this field is excluded from
         :func:`repro.exec.cache.cache_key`.
+    engine:
+        Explicit engine selection: ``"reference"``, ``"fast"`` or
+        ``"vectorized"`` (:mod:`repro.accel.sim`, struct-of-arrays
+        state with batched per-cycle candidate gathering).  The empty
+        default defers to ``fast_path`` so configurations predating
+        this knob keep their meaning.  All three engines are
+        bit-for-bit identical (enforced by the three-way conformance
+        matrix in ``tests/test_fastpath_differential.py``), so this
+        field is also excluded from the result-cache key.
     seed:
         Master RNG seed (traffic, ECMP choices, arbitration).
     """
@@ -91,6 +100,7 @@ class SimulationParams:
     up_selection: str = "random"
     valiant: bool = False
     fast_path: bool = True
+    engine: str = ""
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -123,6 +133,18 @@ class SimulationParams:
                 "Valiant routing needs at least 2 virtual channels "
                 "(one class per phase)"
             )
+        if self.engine not in ("", "reference", "fast", "vectorized"):
+            raise ValueError(
+                f"engine must be 'reference', 'fast' or 'vectorized', "
+                f"got {self.engine!r}"
+            )
+
+    @property
+    def engine_name(self) -> str:
+        """Resolved engine: explicit ``engine`` wins over ``fast_path``."""
+        if self.engine:
+            return self.engine
+        return "fast" if self.fast_path else "reference"
 
     @property
     def horizon(self) -> int:

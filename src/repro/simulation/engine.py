@@ -281,18 +281,30 @@ class Simulator:
     # Run loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
-        """Execute the run through the engine ``params.fast_path`` selects.
+        """Execute the run through the engine the params select.
 
-        ``fast_path=True`` (the default) routes through
-        :func:`repro.simulation.fastpath.run_fast`, which precomputes
-        CSR candidate tables and drives a calendar-queue event wheel;
-        ``False`` runs :meth:`run_reference`.  The two are bit-for-bit
-        identical (same RNG stream, same :class:`SimResult`, same
-        observer callbacks, same post-run channel state) -- the
-        reference engine is kept as the oracle for
+        ``params.engine_name`` resolves to one of three engines:
+
+        * ``"fast"`` (the default) -- :func:`repro.simulation.fastpath
+          .run_fast`: precomputed CSR candidate tables driving a
+          calendar-queue event wheel;
+        * ``"vectorized"`` -- :func:`repro.accel.sim.run_vectorized`:
+          struct-of-arrays packet/channel state in numpy arrays with
+          batched per-cycle candidate gathering and viability masks;
+        * ``"reference"`` -- :meth:`run_reference`.
+
+        All three are bit-for-bit identical (same RNG stream, same
+        :class:`SimResult`, same observer callbacks, same post-run
+        channel state) -- the reference engine is kept as the oracle
+        for the three-way conformance matrix in
         ``tests/test_fastpath_differential.py``.
         """
-        if self.params.fast_path:
+        engine = self.params.engine_name
+        if engine == "vectorized":
+            from ..accel.sim import run_vectorized
+
+            return run_vectorized(self)
+        if engine == "fast":
             from .fastpath import run_fast
 
             return run_fast(self)

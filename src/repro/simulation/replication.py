@@ -118,8 +118,8 @@ def replicated_point(
     ``executor`` is a :class:`repro.exec.Executor`; when None the
     ambient executor is used (serial and cacheless unless the caller
     or CLI configured otherwise).  ``fast_path`` overrides
-    ``params.fast_path`` for every replication when given; because the
-    two engines are bit-for-bit identical, the choice affects wall
+    ``params.fast_path`` for every replication when given; because all
+    engines are bit-for-bit identical, the choice affects wall
     time only -- aggregates and cache hits are unchanged.
     """
     from .. import obs

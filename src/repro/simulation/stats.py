@@ -119,6 +119,34 @@ class SimResult:
     unroutable_packets: int = 0
     metrics: dict | None = field(default=None, compare=False)
 
+    def __eq__(self, other: object) -> bool:
+        # Empty measurement windows carry NaN latency moments; the
+        # generated field-wise equality would make such a result
+        # unequal to itself (NaN != NaN), breaking the engine
+        # conformance contract and cache round-trips.  Compare NaN as
+        # equal to NaN, field by field.
+        if other.__class__ is not SimResult:
+            return NotImplemented
+        for name in self.__dataclass_fields__:
+            if name == "metrics":
+                continue
+            a = getattr(self, name)
+            b = getattr(other, name)
+            if a != b and (a == a or b == b):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        # Defining __eq__ suppresses the frozen dataclass hash; keep
+        # the same field-tuple hash (NaN hashes consistently).
+        return hash(
+            tuple(
+                getattr(self, name)
+                for name in self.__dataclass_fields__
+                if name != "metrics"
+            )
+        )
+
     def core_dict(self) -> dict:
         """The measurement fields only (no ``metrics``), for hashing,
         golden snapshots and cache serialization."""

@@ -1,9 +1,13 @@
-"""Differential proof that the fast path equals the reference engine.
+"""Differential proof that every engine equals the reference engine.
 
-Every test runs the same (topology, traffic, load, params) point twice
--- once through :func:`repro.simulation.fastpath.run_fast`
-(``fast_path=True``) and once through ``Simulator.run_reference`` --
-and demands **bit-for-bit** agreement:
+The simulator ships three cycle engines -- ``reference`` (the oracle),
+``fast`` (:func:`repro.simulation.fastpath.run_fast`) and
+``vectorized`` (:func:`repro.accel.sim.run_vectorized`).  Every test
+here runs the same (topology, traffic, load, params) point through all
+of them -- the vectorized engine twice, once per execution regime
+(incremental-masks-only and forced batched gathering, by pinning
+``repro.accel.sim._BATCH_MIN_UNITS`` to 0) -- and demands
+**bit-for-bit** agreement:
 
 * :class:`SimResult` dataclass equality (accepted load, latency
   moments, percentiles, packet counters),
@@ -11,10 +15,10 @@ and demands **bit-for-bit** agreement:
 * packet traces, peak injection queue depth, unroutable drop counts,
 * and, when instrumented, the full :class:`MetricsObserver` export.
 
-Because both engines share one ``random.Random`` stream, any
-divergence in RNG call *order* -- not just in results -- shows up as a
-mismatch, which is what makes this a proof of equivalence rather than
-a statistical comparison.  The quick matrix runs everywhere; the
+Because all engines share one ``random.Random`` stream, any divergence
+in RNG call *order* -- not just in results -- shows up as a mismatch,
+which is what makes this a proof of equivalence rather than a
+statistical comparison.  The quick matrix runs everywhere; the
 exhaustive topology x traffic x load x seed sweep carries the ``slow``
 marker and runs in the CI bench job.
 """
@@ -23,17 +27,27 @@ import json
 
 import pytest
 
-from repro.core.rfc import rfc_with_updown
+import repro.accel.sim as accel_sim
+from repro.core.rfc import radix_regular_rfc, rfc_with_updown
 from repro.faults.switches import links_of_switches
 from repro.obs import MetricsObserver
 from repro.simulation.config import SimulationParams
 from repro.simulation.engine import Simulator
-from repro.simulation.traffic import make_traffic
+from repro.simulation.traffic import TrafficPattern, make_traffic
+from repro.topologies.rrn import random_regular_network
 
 BASE = SimulationParams(measure_cycles=300, warmup_cycles=100, seed=5)
 
+#: (engine, forced _BATCH_MIN_UNITS or None) -- the full engine matrix.
+ENGINE_RUNS = (
+    ("reference", None),
+    ("fast", None),
+    ("vectorized", None),  # incremental masks, no numpy phase
+    ("vectorized", 0),  # batched viability phase forced on
+)
 
-def run_pair(
+
+def run_engines(
     topo,
     traffic_name,
     load,
@@ -42,40 +56,55 @@ def run_pair(
     with_observer=False,
     trace_limit=0,
 ):
-    """Run one point on both engines; returns (ref_sim, fast_sim)."""
+    """Run one point on every engine/regime; returns the sims,
+    reference first."""
     sims = []
-    for fast in (False, True):
-        traffic = make_traffic(
-            traffic_name, topo.num_terminals, rng=params.seed + 1
-        )
-        sim = Simulator(
-            topo,
-            traffic,
-            load,
-            params.scaled(fast_path=fast),
-            removed_links,
-            trace_limit=trace_limit,
-            observer=MetricsObserver() if with_observer else None,
-        )
-        sim.result = sim.run()
+    for engine, batch_min in ENGINE_RUNS:
+        saved = accel_sim._BATCH_MIN_UNITS
+        if batch_min is not None:
+            accel_sim._BATCH_MIN_UNITS = batch_min
+        try:
+            traffic = make_traffic(
+                traffic_name, topo.num_terminals, rng=params.seed + 1
+            )
+            sim = Simulator(
+                topo,
+                traffic,
+                load,
+                params.scaled(engine=engine),
+                removed_links,
+                trace_limit=trace_limit,
+                observer=MetricsObserver() if with_observer else None,
+            )
+            sim.result = sim.run()
+        finally:
+            accel_sim._BATCH_MIN_UNITS = saved
         sims.append(sim)
     return sims
 
 
-def assert_identical(ref, fast):
-    """The full bit-for-bit contract between the two engines."""
-    assert ref.result == fast.result
-    assert ref.ch_busy_cycles == fast.ch_busy_cycles
-    assert ref.traces == fast.traces
-    assert ref.max_inject_queue == fast.max_inject_queue
-    assert ref.unroutable_packets == fast.unroutable_packets
-    # Shared post-run inspection must agree too (same channel state).
-    assert ref.link_utilization() == fast.link_utilization()
-    assert ref.batch_accepted_loads() == fast.batch_accepted_loads()
-    if ref.observer is not None:
-        ref_export = json.dumps(ref.observer.export(), sort_keys=True)
-        fast_export = json.dumps(fast.observer.export(), sort_keys=True)
-        assert ref_export == fast_export
+def assert_identical(ref, *others):
+    """The full bit-for-bit contract between the engines."""
+    ref_export = (
+        json.dumps(ref.observer.export(), sort_keys=True)
+        if ref.observer is not None
+        else None
+    )
+    for other in others:
+        assert ref.result == other.result
+        assert ref.ch_busy_cycles == other.ch_busy_cycles
+        assert ref.traces == other.traces
+        assert ref.max_inject_queue == other.max_inject_queue
+        assert ref.unroutable_packets == other.unroutable_packets
+        # Shared post-run inspection must agree too (same channel
+        # state).
+        assert ref.link_utilization() == other.link_utilization()
+        assert ref.batch_accepted_loads() == other.batch_accepted_loads()
+        if ref_export is not None:
+            other_export = json.dumps(
+                other.observer.export(), sort_keys=True
+            )
+            assert ref_export == other_export
 
 
 @pytest.fixture(scope="module")
@@ -89,78 +118,65 @@ class TestQuickMatrix:
 
     @pytest.mark.parametrize("name", ["rfc", "cft", "oft", "rrn"])
     def test_uniform_mid_load(self, topologies, name):
-        ref, fast = run_pair(topologies[name], "uniform", 0.5, BASE)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies[name], "uniform", 0.5, BASE))
 
     @pytest.mark.parametrize(
         "traffic", ["random-pairing", "fixed-random", "shuffle"]
     )
     def test_traffic_patterns(self, topologies, traffic):
-        ref, fast = run_pair(topologies["rfc"], traffic, 0.6, BASE)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], traffic, 0.6, BASE))
 
     @pytest.mark.parametrize("load", [0.1, 0.9])
     def test_load_extremes(self, topologies, load):
-        ref, fast = run_pair(topologies["rfc"], "uniform", load, BASE)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", load, BASE))
 
 
 class TestConfigVariants:
-    """Engine knobs that exercise distinct fast-path branches."""
+    """Engine knobs that exercise distinct non-reference branches."""
 
     def test_valiant(self, topologies):
         params = BASE.scaled(valiant=True)
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.5, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.5, params))
 
     def test_valiant_two_vcs(self, topologies):
         params = BASE.scaled(valiant=True, virtual_channels=2)
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.6, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.6, params))
 
     def test_adaptive_up_selection(self, topologies):
         params = BASE.scaled(up_selection="adaptive")
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.7, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.7, params))
 
     def test_rotating_arbiter(self, topologies):
         params = BASE.scaled(arbiter="rotating")
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.7, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.7, params))
 
     def test_multi_iteration_arbitration(self, topologies):
         params = BASE.scaled(arbitration_iterations=3)
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.8, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.8, params))
 
     def test_nonminimal_routing(self, topologies):
         params = BASE.scaled(minimal_routing=False)
-        ref, fast = run_pair(
-            topologies["rfc"], "random-pairing", 0.6, params
+        assert_identical(
+            *run_engines(topologies["rfc"], "random-pairing", 0.6, params)
         )
-        assert_identical(ref, fast)
 
     def test_direct_adaptive_multi_iteration(self, topologies):
         params = BASE.scaled(
             up_selection="adaptive", arbitration_iterations=2
         )
-        ref, fast = run_pair(topologies["rrn"], "uniform", 0.5, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rrn"], "uniform", 0.5, params))
 
     def test_single_phit_saturating(self, topologies):
         params = BASE.scaled(packet_phits=1)
-        ref, fast = run_pair(topologies["rfc"], "uniform", 1.0, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 1.0, params))
 
     def test_longer_links(self, topologies):
         params = BASE.scaled(link_latency=3)
-        ref, fast = run_pair(topologies["rfc"], "uniform", 0.6, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.6, params))
 
     def test_single_vc(self, topologies):
         params = BASE.scaled(virtual_channels=1)
-        ref, fast = run_pair(topologies["rrn"], "uniform", 0.3, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies["rrn"], "uniform", 0.3, params))
 
 
 class TestFaults:
@@ -169,29 +185,30 @@ class TestFaults:
     def test_removed_links_rfc(self, topologies):
         links = list(topologies["rfc"].links())
         removed = [links[3], links[17], links[40]]
-        ref, fast = run_pair(
-            topologies["rfc"], "uniform", 0.6, BASE, removed_links=removed
+        assert_identical(
+            *run_engines(
+                topologies["rfc"], "uniform", 0.6, BASE, removed_links=removed
+            )
         )
-        assert_identical(ref, fast)
 
     def test_removed_links_rrn(self, topologies):
         links = list(topologies["rrn"].links())
         removed = [links[1], links[9]]
-        ref, fast = run_pair(
-            topologies["rrn"], "uniform", 0.4, BASE, removed_links=removed
+        assert_identical(
+            *run_engines(
+                topologies["rrn"], "uniform", 0.4, BASE, removed_links=removed
+            )
         )
-        assert_identical(ref, fast)
 
     def test_switch_fault_rfc(self, topologies):
         """Whole-switch loss (all incident links removed) -- packets to
-        unreachable leaves are dropped identically by both engines."""
+        unreachable leaves are dropped identically by every engine."""
         topo = topologies["rfc"]
         dead = {topo.switch_id(1, 0), topo.switch_id(2, 1)}
         removed = links_of_switches(topo, dead)
-        ref, fast = run_pair(
-            topo, "uniform", 0.5, BASE, removed_links=removed
+        assert_identical(
+            *run_engines(topo, "uniform", 0.5, BASE, removed_links=removed)
         )
-        assert_identical(ref, fast)
 
     def test_switch_fault_with_unroutable_pairs(self, topologies):
         """Killing every fabric switch over a leaf forces unroutable
@@ -199,52 +216,120 @@ class TestFaults:
         topo = topologies["oft"]
         dead = {topo.switch_id(1, 0)}
         removed = links_of_switches(topo, dead)
-        ref, fast = run_pair(
-            topo, "uniform", 0.4, BASE, removed_links=removed
-        )
-        assert_identical(ref, fast)
-        assert ref.unroutable_packets == fast.unroutable_packets
+        sims = run_engines(topo, "uniform", 0.4, BASE, removed_links=removed)
+        assert_identical(*sims)
+        assert sims[0].unroutable_packets == sims[1].unroutable_packets
 
 
 class TestInstrumented:
     """Observer hooks must fire with identical payloads."""
 
     def test_metrics_observer_rfc(self, topologies):
-        ref, fast = run_pair(
-            topologies["rfc"], "uniform", 0.6, BASE, with_observer=True
+        assert_identical(
+            *run_engines(
+                topologies["rfc"], "uniform", 0.6, BASE, with_observer=True
+            )
         )
-        assert_identical(ref, fast)
 
     def test_metrics_observer_direct(self, topologies):
-        ref, fast = run_pair(
-            topologies["rrn"], "uniform", 0.5, BASE, with_observer=True
+        assert_identical(
+            *run_engines(
+                topologies["rrn"], "uniform", 0.5, BASE, with_observer=True
+            )
         )
-        assert_identical(ref, fast)
 
     def test_metrics_observer_valiant_with_traces(self, topologies):
         params = BASE.scaled(valiant=True)
-        ref, fast = run_pair(
-            topologies["rfc"],
-            "locality",
-            0.5,
-            params,
-            with_observer=True,
-            trace_limit=40,
+        assert_identical(
+            *run_engines(
+                topologies["rfc"],
+                "locality",
+                0.5,
+                params,
+                with_observer=True,
+                trace_limit=40,
+            )
         )
-        assert_identical(ref, fast)
 
     def test_traces_and_faults_together(self, topologies):
         links = list(topologies["rfc"].links())
-        ref, fast = run_pair(
-            topologies["rfc"],
-            "uniform",
-            0.6,
-            BASE,
-            removed_links=[links[5]],
-            with_observer=True,
-            trace_limit=60,
+        assert_identical(
+            *run_engines(
+                topologies["rfc"],
+                "uniform",
+                0.6,
+                BASE,
+                removed_links=[links[5]],
+                with_observer=True,
+                trace_limit=60,
+            )
         )
-        assert_identical(ref, fast)
+
+
+class TestHorizonSweep:
+    """Short horizons hit the warmup/measure boundary cases."""
+
+    @pytest.mark.parametrize("measure,warmup", [(1, 0), (5, 0), (40, 40)])
+    def test_short_horizons(self, topologies, measure, warmup):
+        params = BASE.scaled(measure_cycles=measure, warmup_cycles=warmup)
+        assert_identical(*run_engines(topologies["rfc"], "uniform", 0.7, params))
+
+
+class _AllSilentTraffic(TrafficPattern):
+    """No terminal ever injects -- the zero-load degenerate case."""
+
+    name = "all-silent"
+
+    def destination(self, source, rng):  # pragma: no cover - never called
+        raise LookupError("silent")
+
+    def is_silent(self, source):
+        return True
+
+
+class TestEdgeCases:
+    """Degenerate configurations every engine must agree on."""
+
+    def test_zero_injections(self, topologies):
+        """A run with no traffic at all: zero packets, NaN latency
+        moments, and still bit-for-bit agreement (including the NaN
+        fields, which compare equal by SimResult's contract)."""
+        topo = topologies["rfc"]
+        sims = []
+        for engine in ("reference", "fast", "vectorized"):
+            traffic = _AllSilentTraffic(topo.num_terminals)
+            sim = Simulator(topo, traffic, 0.5, BASE.scaled(engine=engine))
+            sim.result = sim.run()
+            sims.append(sim)
+        assert_identical(*sims)
+        assert sims[0].result.generated_packets == 0
+        assert sims[0].result.delivered_packets == 0
+
+    def test_minimal_folded_topology(self):
+        """The smallest constructible RFC (8 terminals)."""
+        topo = radix_regular_rfc(4, 4, 2, rng=3)
+        assert_identical(*run_engines(topo, "uniform", 0.6, BASE))
+
+    def test_two_terminal_direct_network(self):
+        """Two switches, one terminal each -- the minimal network that
+        can carry traffic at all."""
+        topo = random_regular_network(2, 1, 1, rng=3)
+        assert_identical(*run_engines(topo, "uniform", 0.8, BASE))
+
+    def test_single_terminal_traffic_rejected(self):
+        """One terminal cannot form a traffic pattern; the rejection
+        happens before any engine is selected and is identical."""
+        with pytest.raises(ValueError) as exc_info:
+            make_traffic("uniform", 1, rng=0)
+        assert "two terminals" in str(exc_info.value)
+
+    def test_saturated_injection_queues(self, topologies):
+        """Hot-spot overload: injection queues back up and the peak
+        depth (a pure side-channel) must match across engines."""
+        params = BASE.scaled(buffer_packets=1)
+        sims = run_engines(topologies["rfc"], "fixed-random", 1.0, params)
+        assert_identical(*sims)
+        assert sims[0].max_inject_queue >= 3
 
 
 @pytest.mark.slow
@@ -260,8 +345,7 @@ class TestFullMatrix:
     @pytest.mark.parametrize("seed", [0, 11])
     def test_matrix_point(self, topologies, name, traffic, load, seed):
         params = BASE.scaled(seed=seed)
-        ref, fast = run_pair(topologies[name], traffic, load, params)
-        assert_identical(ref, fast)
+        assert_identical(*run_engines(topologies[name], traffic, load, params))
 
     @pytest.mark.parametrize("name", ["rfc", "rrn"])
     @pytest.mark.parametrize("seed", [2, 7])
@@ -270,13 +354,14 @@ class TestFullMatrix:
         links = list(topo.links())
         removed = [links[seed], links[seed + 4]]
         params = BASE.scaled(seed=seed)
-        ref, fast = run_pair(
-            topo,
-            "uniform",
-            0.6,
-            params,
-            removed_links=removed,
-            with_observer=True,
-            trace_limit=30,
+        assert_identical(
+            *run_engines(
+                topo,
+                "uniform",
+                0.6,
+                params,
+                removed_links=removed,
+                with_observer=True,
+                trace_limit=30,
+            )
         )
-        assert_identical(ref, fast)

@@ -1,0 +1,243 @@
+"""Hypothesis properties specific to the vectorized cycle engine.
+
+Three families, complementing the example-based conformance matrix in
+``test_fastpath_differential.py``:
+
+* **Packet conservation, cycle by cycle** -- an observer tallies
+  inject/eject/drop callbacks as they fire and demands the in-flight
+  count never goes negative and callback times never run backwards;
+  at run end the full balance must close: every generated packet is
+  delivered, still queued somewhere in the network, or dropped as
+  unroutable.
+* **Arbitration stability under candidate permutation** -- permuting
+  the per-switch input-unit order changes which packets the shared
+  RNG stream favors, so it changes results; but it must change them
+  *identically* in every engine.  This also forces the vectorized
+  engine off its sorted-units fast path (the rotating arbiter then
+  has to really sort), proving the fallback.
+* **Exception parity** -- malformed configurations raise the same
+  validation errors regardless of engine, and a traffic pattern that
+  blows up mid-run propagates the same exception at the same
+  generation point through the reference and vectorized engines.
+
+Both vectorized regimes (incremental masks only, and the batched
+viability phase forced on via ``_BATCH_MIN_UNITS = 0``) are exercised.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.accel.sim as accel_sim
+from repro.core.rfc import radix_regular_rfc
+from repro.obs.hooks import SimObserver
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import TrafficPattern, make_traffic
+
+vector_configs = st.fixed_dictionaries(
+    {
+        "radix": st.sampled_from([4, 6]),
+        "n1": st.sampled_from([8, 12]),
+        "load": st.floats(min_value=0.1, max_value=1.0),
+        "vcs": st.integers(min_value=1, max_value=4),
+        "buffers": st.integers(min_value=1, max_value=3),
+        "phits": st.sampled_from([1, 4, 16]),
+        "traffic": st.sampled_from(
+            ["uniform", "random-pairing", "fixed-random"]
+        ),
+        "seed": st.integers(min_value=0, max_value=1_000),
+        "batched": st.booleans(),
+    }
+)
+
+
+def build_sim(config, engine, observer=None):
+    topo = radix_regular_rfc(
+        config["radix"], config["n1"], 2, rng=config["seed"]
+    )
+    params = SimulationParams(
+        measure_cycles=150,
+        warmup_cycles=50,
+        virtual_channels=config["vcs"],
+        buffer_packets=config["buffers"],
+        packet_phits=config["phits"],
+        seed=config["seed"],
+        engine=engine,
+    )
+    traffic = make_traffic(
+        config["traffic"], topo.num_terminals, rng=config["seed"] + 1
+    )
+    return Simulator(topo, traffic, config["load"], params, observer=observer)
+
+
+def run_regime(sim, batched):
+    """Run ``sim`` with the batched viability phase forced on or off."""
+    saved = accel_sim._BATCH_MIN_UNITS
+    accel_sim._BATCH_MIN_UNITS = 0 if batched else 1 << 40
+    try:
+        return sim.run()
+    finally:
+        accel_sim._BATCH_MIN_UNITS = saved
+
+
+class ConservationObserver(SimObserver):
+    """Asserts the in-flight balance at every callback."""
+
+    def __init__(self):
+        self.injected = 0
+        self.ejected = 0
+        self.dropped = 0
+        self.last_time = 0
+
+    def _tick(self, time):
+        assert time >= self.last_time, "callback time ran backwards"
+        self.last_time = time
+        in_flight = self.injected - self.ejected
+        assert in_flight >= 0, "more ejections than injections"
+
+    def on_inject(self, time, packet, queue_len):
+        self.injected += 1
+        self._tick(time)
+
+    def on_eject(self, time, packet, latency, phits):
+        self.ejected += 1
+        self._tick(time)
+
+    def on_drop(self, time, terminal, packet):
+        self.dropped += 1
+        self._tick(time)
+
+
+def queued_packets(sim):
+    """Packets still sitting in any (channel, vc) queue post-run."""
+    return sum(
+        len(queue)
+        for queues in sim.ch_queues
+        if queues is not None  # eject channels keep no queue
+        for queue in queues
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=vector_configs)
+def test_packet_conservation_every_cycle(config):
+    obs = ConservationObserver()
+    sim = build_sim(config, "vectorized", observer=obs)
+    result = run_regime(sim, config["batched"])
+    # Callback tallies agree with the aggregate counters...
+    assert obs.ejected == result.delivered_packets
+    assert obs.dropped == sim.unroutable_packets
+    # ...and the end-of-run balance closes exactly: generated packets
+    # are delivered, still in the network, or dropped.
+    assert result.generated_packets == (
+        result.delivered_packets + queued_packets(sim) + sim.unroutable_packets
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    config=vector_configs,
+    perm_seed=st.integers(min_value=0, max_value=1_000),
+    arbiter=st.sampled_from(["random", "rotating"]),
+)
+def test_arbitration_stable_under_unit_permutation(
+    config, perm_seed, arbiter
+):
+    results = []
+    for engine in ("reference", "vectorized"):
+        sim = build_sim(config, engine)
+        sim.params = sim.params.scaled(arbiter=arbiter)
+        # Shuffle each switch's input-unit scan order the same way in
+        # both engines; results may differ from the unshuffled run but
+        # must stay identical across engines.
+        shuffler = random.Random(perm_seed)
+        for row in sim.in_units:
+            shuffler.shuffle(row)
+        results.append(
+            (run_regime(sim, config["batched"]), sim.ch_busy_cycles)
+        )
+    assert results[0] == results[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    engine=st.sampled_from(["reference", "fast", "vectorized"]),
+    field=st.sampled_from(
+        [
+            {"measure_cycles": 0},
+            {"warmup_cycles": -1},
+            {"virtual_channels": 0},
+            {"buffer_packets": 0},
+            {"packet_phits": 0},
+            {"link_latency": 0},
+            {"arbitration_iterations": 0},
+            {"up_selection": "greedy"},
+            {"arbiter": "fifo"},
+            {"valiant": True, "virtual_channels": 1},
+            {"engine": "turbo"},
+        ]
+    ),
+)
+def test_malformed_config_parity(engine, field):
+    """Validation failures are engine-independent: same exception
+    type and message whatever engine the config also selects."""
+    overrides = dict(field)
+    if "engine" not in overrides:
+        overrides["engine"] = engine
+    with pytest.raises(ValueError) as exc_info:
+        SimulationParams(**overrides)
+    reference_msg = str(exc_info.value)
+    overrides.pop("engine")
+    if "engine" in field:
+        return  # the engine string itself was the malformed field
+    with pytest.raises(ValueError) as exc_info2:
+        SimulationParams(engine="reference", **overrides)
+    assert str(exc_info2.value) == reference_msg
+
+
+class ExplodingTraffic(TrafficPattern):
+    """Uniform-ish traffic that raises after a fixed number of draws."""
+
+    name = "exploding"
+
+    def __init__(self, num_terminals, fuse):
+        super().__init__(num_terminals)
+        self.fuse = fuse
+        self.calls = 0
+
+    def destination(self, source, rng):
+        self.calls += 1
+        if self.calls > self.fuse:
+            raise RuntimeError(f"traffic exploded after {self.fuse} draws")
+        dest = rng.randrange(self.num_terminals - 1)
+        return dest if dest < source else dest + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fuse=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=1_000),
+    batched=st.booleans(),
+)
+def test_midrun_exception_parity(fuse, seed, batched):
+    """A traffic pattern that blows up mid-run must surface the same
+    exception from every engine, at the same generation point."""
+    outcomes = []
+    for engine in ("reference", "vectorized"):
+        topo = radix_regular_rfc(4, 8, 2, rng=seed)
+        params = SimulationParams(
+            measure_cycles=150, warmup_cycles=0, seed=seed, engine=engine
+        )
+        traffic = ExplodingTraffic(topo.num_terminals, fuse)
+        sim = Simulator(topo, traffic, 0.5, params)
+        try:
+            run_regime(sim, batched)
+            outcomes.append(("completed", traffic.calls))
+        except RuntimeError as exc:
+            outcomes.append(
+                (str(exc), traffic.calls, sim._stats.generated_packets)
+            )
+    assert outcomes[0] == outcomes[1]
