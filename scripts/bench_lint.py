@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Time a full-repository ``repro.lint`` analysis against a budget.
+
+The analyzer gates every CI run and every pre-commit, so its own
+latency is a product property: a cold whole-program pass over
+``src/`` must stay under the budget (default 10 s), and a warm
+cached pass must be faster than the cold one it reuses.
+
+    python scripts/bench_lint.py [--budget-seconds 10] [--repeats 3]
+
+Exits non-zero when the best cold run exceeds the budget.
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint.cache import AnalysisCache  # noqa: E402
+from repro.lint.runner import run_analysis  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-seconds", type=float, default=10.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    target = REPO / "src"
+    cold_times = []
+    report = None
+    for _ in range(max(1, args.repeats)):
+        start = time.perf_counter()
+        report = run_analysis([target])
+        cold_times.append(time.perf_counter() - start)
+    best_cold = min(cold_times)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        run_analysis([target], cache=AnalysisCache(Path(cache_dir)))
+        start = time.perf_counter()
+        warm_report = run_analysis([target], cache=AnalysisCache(Path(cache_dir)))
+        warm = time.perf_counter() - start
+
+    assert report is not None
+    print(
+        f"cold: best {best_cold:.3f}s over {len(cold_times)} runs "
+        f"({report.files} files, {len(report.findings)} findings)"
+    )
+    print(
+        f"warm: {warm:.3f}s "
+        f"({warm_report.reused} reused, {warm_report.analyzed} analyzed)"
+    )
+
+    failed = False
+    if best_cold > args.budget_seconds:
+        print(
+            f"FAIL: cold analysis {best_cold:.3f}s exceeds "
+            f"{args.budget_seconds:.1f}s budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if warm_report.analyzed != 0:
+        print(
+            f"FAIL: warm run re-analyzed {warm_report.analyzed} files; "
+            "the incremental cache is not being reused",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,13 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the determinism/reproducibility checkers (repro.lint)",
+        add_help=False,
     )
     lint.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to 'python -m repro.lint' "
+             "(paths, --format, --baseline, --changed-only, ...)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="report format (default: text)")
 
     export = sub.add_parser(
         "export", help="generate a topology and write it to a file"
@@ -391,7 +391,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.runner import main as lint_main
 
-    return lint_main([*args.paths, "--format", args.format])
+    return lint_main(list(args.lint_args))
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:

@@ -11,10 +11,11 @@ by everything that can influence it:
   (re)built from;
 * the **offered load**;
 * every field of :class:`~repro.simulation.config.SimulationParams`
-  (including the engine seed) -- *except* ``fast_path``: the fast and
-  reference engines are bit-for-bit identical (enforced by the
-  differential suite), so engine selection must not change the digest
-  and both engines share entries;
+  (including the engine seed) -- *except* the engine-selection knobs
+  declared in :data:`~repro.simulation.config
+  .CACHE_KEY_EXCLUDED_FIELDS`: all engines are bit-for-bit identical
+  (enforced by the differential suite), so engine selection must not
+  change the digest and every engine shares entries;
 * the sorted set of **removed links** (fault experiments);
 * a **code version** tag (:data:`CODE_VERSION`) bumped whenever the
   simulator's semantics change, so stale results from an older engine
@@ -37,7 +38,7 @@ import json
 import os
 from pathlib import Path
 
-from ..simulation.config import SimulationParams
+from ..simulation.config import CACHE_KEY_EXCLUDED_FIELDS, SimulationParams
 from ..simulation.stats import SimResult
 from ..topologies.base import DirectNetwork, FoldedClos, Link
 from ..topologies.io import to_json
@@ -80,9 +81,10 @@ def cache_key(
     # Engine selection produces identical results by contract, so it
     # must not (and does not) influence the digest: caches written
     # before the fast path (or the vectorized engine) existed keep
-    # hitting.
-    params_payload.pop("fast_path", None)
-    params_payload.pop("engine", None)
+    # hitting.  The excluded set is declared next to the dataclass
+    # (and cross-checked by lint pass RPR101), not hand-rolled here.
+    for excluded in sorted(CACHE_KEY_EXCLUDED_FIELDS):
+        params_payload.pop(excluded, None)
     payload = {
         "code": CODE_VERSION,
         "format": CACHE_FORMAT,

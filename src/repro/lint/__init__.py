@@ -32,38 +32,97 @@ RPR005    lambdas or nested closures submitted to a process pool
 RPR006    mutable default arguments in public API functions
 ========  ==========================================================
 
+Since the whole-program layer landed, a second registry of *project*
+checkers runs once over the resolved import/call graph
+(:mod:`repro.lint.graph`) after the per-file phase:
+
+========  ==========================================================
+code      invariant
+========  ==========================================================
+RPR101    every ``SimulationParams``/``SimResult`` field consumed by
+          all three engines and covered by an explicit cache-key
+          policy
+RPR102    numpy integer-width hazards (int32 overflow, uint64/signed
+          mixing) in kernel code
+RPR103    wall-clock/env/RNG impurity reaching cache-key or seed
+          derivation through *any* call chain
+RPR104    code reachable from observer hooks writing engine state or
+          advancing RNG streams
+========  ==========================================================
+
 Run it as ``python -m repro.lint src`` or ``repro-rfc lint``; exit
-status is non-zero whenever findings remain.  Intentional uses are
-waived per line with ``# repro: allow-<code> -- <justification>``.
-See ``docs/LINTING.md`` for the full catalogue with examples.
+status is 1 whenever findings remain and 2 on internal errors.
+Intentional uses are waived per line with
+``# repro: allow-<code> -- <justification>``; ``--format sarif``
+emits SARIF 2.1.0 for code scanning, ``--baseline`` subtracts known
+findings and ``--cache-dir`` makes re-runs incremental.  See
+``docs/LINTING.md`` for the full catalogue with examples.
 """
 
 from __future__ import annotations
 
-from .base import Checker, all_checkers, checker_codes, register
+from .base import (
+    Checker,
+    ProjectChecker,
+    all_checkers,
+    all_project_checkers,
+    checker_codes,
+    register,
+    register_project,
+)
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import AnalysisCache, analyzer_version
 from .context import FileContext
+from .dataflow import TaintEngine, TaintHit
 from .findings import Finding, Severity
+from .graph import (
+    ModuleSummary,
+    ProjectGraph,
+    build_project,
+    summarize_module,
+)
 from .runner import (
+    LintReport,
     format_findings,
     lint_file,
     lint_paths,
     lint_source,
     main,
+    run_analysis,
 )
+from .sarif import format_sarif, to_sarif
 from .suppressions import parse_suppressions
 
 __all__ = [
+    "AnalysisCache",
     "Checker",
     "FileContext",
     "Finding",
+    "LintReport",
+    "ModuleSummary",
+    "ProjectChecker",
+    "ProjectGraph",
     "Severity",
+    "TaintEngine",
+    "TaintHit",
     "all_checkers",
+    "all_project_checkers",
+    "analyzer_version",
+    "apply_baseline",
+    "build_project",
     "checker_codes",
     "format_findings",
+    "format_sarif",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
     "parse_suppressions",
     "register",
+    "register_project",
+    "run_analysis",
+    "summarize_module",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,26 +1,47 @@
-"""The :class:`Checker` plugin contract and registry.
+"""The :class:`Checker` plugin contracts and registries.
 
-A checker is a class with a ``CODE``, a ``SUMMARY`` and a
-:meth:`Checker.check` generator over one file's
-:class:`~repro.lint.context.FileContext`.  Registration is explicit
-(the :func:`register` decorator) so importing ``repro.lint.checkers``
-is the single side effect that populates the registry, and tests can
-instantiate checkers individually without it.
+Two kinds of checker share the ``RPR###`` code space:
+
+* a **file checker** (:class:`Checker`) sees one file's
+  :class:`~repro.lint.context.FileContext` at a time -- the PR 2
+  contract, unchanged;
+* a **project checker** (:class:`ProjectChecker`) sees the whole
+  :class:`~repro.lint.graph.ProjectGraph` once per run and may pin
+  findings to any file in it -- the contract the RPR10x passes use
+  for invariants that span modules.
+
+Registration is explicit (the :func:`register` /
+:func:`register_project` decorators) so importing
+``repro.lint.checkers`` is the single side effect that populates both
+registries, and tests can instantiate checkers individually without
+it.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, Type
+from typing import TYPE_CHECKING, Iterator, Type
 
 from .context import FileContext
 from .findings import Finding, Severity
 
-__all__ = ["Checker", "register", "all_checkers", "checker_codes"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ProjectGraph
+
+__all__ = [
+    "Checker",
+    "ProjectChecker",
+    "register",
+    "register_project",
+    "all_checkers",
+    "all_project_checkers",
+    "checker_codes",
+]
 
 _CODE_RE = re.compile(r"^RPR\d{3}$")
 _REGISTRY: dict[str, Type["Checker"]] = {}
+_PROJECT_REGISTRY: dict[str, Type["ProjectChecker"]] = {}
 
 
 class Checker:
@@ -53,29 +74,84 @@ class Checker:
         )
 
 
-def register(cls: Type[Checker]) -> Type[Checker]:
-    """Class decorator adding ``cls`` to the global registry.
+class ProjectChecker:
+    """Base class for one whole-program rule.
 
-    Codes must be unique and well-formed; a duplicate registration is
-    a programming error worth failing loudly on.
+    Subclasses set ``CODE``/``SUMMARY`` exactly like :class:`Checker`
+    and implement :meth:`check_project` over the resolved
+    :class:`~repro.lint.graph.ProjectGraph`.  Findings may point at
+    any file of the project; per-line ``# repro: allow-...`` waivers
+    apply to them the same way they do to file-checker findings.
     """
-    if not _CODE_RE.match(cls.CODE):
-        raise ValueError(f"bad checker code {cls.CODE!r} on {cls.__name__}")
-    if cls.CODE in _REGISTRY and _REGISTRY[cls.CODE] is not cls:
-        raise ValueError(f"duplicate checker code {cls.CODE}")
+
+    CODE: str = ""
+    SUMMARY: str = ""
+    SEVERITY: Severity = Severity.ERROR
+
+    def check_project(self, project: "ProjectGraph") -> Iterator[Finding]:
+        """Yield findings across the project.  Must not mutate it."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A :class:`Finding` pinned to an explicit location."""
+        return Finding(
+            file=path,
+            line=line,
+            col=col,
+            code=self.CODE,
+            severity=self.SEVERITY,
+            message=message,
+        )
+
+
+def _check_code(code: str, name: str) -> None:
+    if not _CODE_RE.match(code):
+        raise ValueError(f"bad checker code {code!r} on {name}")
+    if code in _REGISTRY or code in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate checker code {code}")
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the file-checker registry.
+
+    Codes must be unique (across both registries) and well-formed; a
+    duplicate registration is a programming error worth failing
+    loudly on.
+    """
+    if _REGISTRY.get(cls.CODE) is not cls:
+        _check_code(cls.CODE, cls.__name__)
     _REGISTRY[cls.CODE] = cls
     return cls
 
 
+def register_project(cls: Type[ProjectChecker]) -> Type[ProjectChecker]:
+    """Class decorator adding ``cls`` to the project-checker registry."""
+    if _PROJECT_REGISTRY.get(cls.CODE) is not cls:
+        _check_code(cls.CODE, cls.__name__)
+    _PROJECT_REGISTRY[cls.CODE] = cls
+    return cls
+
+
 def all_checkers() -> list[Checker]:
-    """Fresh instances of every registered checker, ordered by code."""
+    """Fresh instances of every registered file checker, by code."""
     from . import checkers  # noqa: F401  (import populates the registry)
 
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
 
 
-def checker_codes() -> list[str]:
-    """Sorted registered codes (after loading the built-in set)."""
+def all_project_checkers() -> list[ProjectChecker]:
+    """Fresh instances of every registered project checker, by code."""
     from . import checkers  # noqa: F401
 
-    return sorted(_REGISTRY)
+    return [_PROJECT_REGISTRY[code]() for code in sorted(_PROJECT_REGISTRY)]
+
+
+def checker_codes() -> list[str]:
+    """Sorted registered codes across both registries (after loading
+    the built-in set)."""
+    from . import checkers  # noqa: F401
+
+    return sorted([*_REGISTRY, *_PROJECT_REGISTRY])

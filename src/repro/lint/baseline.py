@@ -1,0 +1,90 @@
+"""Finding baselines: ratchet new code clean without a big-bang fixup.
+
+A baseline file records the findings a team has consciously deferred.
+``--baseline lint-baseline.json`` subtracts them from a run, so CI
+fails only on *new* findings; ``--write-baseline`` regenerates the
+file after a triage pass.  The workflow is the standard ratchet:
+check the baseline in, keep it shrinking, never let it grow.
+
+Fingerprints are ``(relative posix path, code, message)`` -- stable
+across machines (no absolute paths) and across unrelated edits in the
+same file (no line numbers: a finding that merely moves stays
+baselined, a finding whose message changes is new).  The file is
+sorted JSON, so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePosixPath
+from typing import Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding, base_dir: str | Path | None = None) -> str:
+    """The stable identity of one finding (path is made base-relative)."""
+    path = Path(finding.file)
+    if base_dir is not None:
+        try:
+            path = path.resolve().relative_to(Path(base_dir).resolve())
+        except ValueError:
+            pass
+    rel = str(PurePosixPath(*path.parts))
+    return f"{rel}::{finding.code}::{finding.message}"
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Fingerprints recorded in a baseline file.
+
+    Raises ``ValueError`` for a malformed or version-skewed file --
+    silently treating a corrupt baseline as empty would fail CI on
+    every baselined finding at once, which is the confusing direction.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file: {path}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not all(
+        isinstance(e, str) for e in entries
+    ):
+        raise ValueError(f"malformed baseline file: {path}")
+    return frozenset(entries)
+
+
+def write_baseline(
+    path: str | Path,
+    findings: Sequence[Finding],
+    base_dir: str | Path | None = None,
+) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = sorted({fingerprint(f, base_dir) for f in findings})
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: frozenset[str],
+    base_dir: str | Path | None = None,
+) -> list[Finding]:
+    """The findings not covered by ``baseline``, order preserved."""
+    return [
+        finding
+        for finding in findings
+        if fingerprint(finding, base_dir) not in baseline
+    ]

@@ -1,0 +1,166 @@
+"""Content-hash-keyed incremental cache for per-file analysis.
+
+Whole-program passes need a summary of *every* file on every run, but
+almost no file changes between runs.  The cache stores, per source
+file, the :class:`~repro.lint.graph.ModuleSummary`, the raw per-file
+checker findings and the suppression table, keyed by the SHA-256 of
+the file's content plus an analyzer version tag.  A run then re-parses
+only edited files; everything else is deserialized.
+
+The key is **pure**: content hash + analyzer version.  No mtimes, no
+absolute-time stamps, no environment -- the same tree always produces
+the same cache, which is the same property the repo's result cache
+lives by (and which RPR103 now enforces transitively).
+
+Entries for files that no longer exist are dropped on save.  A corrupt
+or version-skewed cache file is treated as empty: correctness never
+depends on the cache, only wall time does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from .findings import Finding, Severity
+from .graph import ModuleSummary
+
+__all__ = ["ANALYZER_SCHEMA", "analyzer_version", "CacheEntry", "AnalysisCache"]
+
+#: Bump when the summary shape or finding semantics change; combined
+#: with the registered checker codes into the version tag so adding a
+#: checker invalidates stale per-file findings automatically.
+ANALYZER_SCHEMA = 1
+
+_CACHE_NAME = "lint-cache.json"
+
+
+def analyzer_version() -> str:
+    """Version tag mixed into every cache key."""
+    from .base import checker_codes
+
+    return f"{ANALYZER_SCHEMA}:" + ",".join(checker_codes())
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return finding.to_dict()
+
+
+def _finding_from_dict(data: Mapping[str, Any]) -> Finding:
+    return Finding(
+        file=data["file"],
+        line=data["line"],
+        col=data["col"],
+        code=data["code"],
+        severity=Severity(data["severity"]),
+        message=data["message"],
+    )
+
+
+@dataclass
+class CacheEntry:
+    """Everything one run needs to know about one unchanged file."""
+
+    sha256: str
+    summary: ModuleSummary | None
+    findings: list[Finding]
+    #: line -> (sorted codes, justified) from the suppression scan.
+    suppressions: dict[int, tuple[list[str], bool]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sha256": self.sha256,
+            "summary": self.summary.to_dict() if self.summary else None,
+            "findings": [_finding_to_dict(f) for f in self.findings],
+            "suppressions": {
+                str(line): [codes, justified]
+                for line, (codes, justified) in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CacheEntry":
+        return cls(
+            sha256=data["sha256"],
+            summary=(
+                ModuleSummary.from_dict(data["summary"])
+                if data["summary"] else None
+            ),
+            findings=[_finding_from_dict(f) for f in data["findings"]],
+            suppressions={
+                int(line): (list(codes), bool(justified))
+                for line, (codes, justified) in data["suppressions"].items()
+            },
+        )
+
+
+class AnalysisCache:
+    """Directory-backed per-file analysis store with reuse counters.
+
+    ``reused`` / ``analyzed`` accumulate over one run and feed the
+    ``--stats`` report (and the incremental-invalidation test: edit
+    one file out of N, expect ``analyzed == 1``).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.version = analyzer_version()
+        self.reused = 0
+        self.analyzed = 0
+        self._entries: dict[str, CacheEntry] = {}
+        self._touched: set[str] = set()
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self.directory / _CACHE_NAME
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            if payload.get("version") != self.version:
+                return
+            for key, raw in payload.get("entries", {}).items():
+                self._entries[key] = CacheEntry.from_dict(raw)
+        except (OSError, ValueError, KeyError, TypeError):
+            self._entries = {}
+
+    def get(self, path: str, sha256: str) -> CacheEntry | None:
+        """The entry for ``path`` iff its content hash still matches."""
+        entry = self._entries.get(path)
+        if entry is None or entry.sha256 != sha256:
+            self.analyzed += 1
+            return None
+        self.reused += 1
+        self._touched.add(path)
+        return entry
+
+    def put(self, path: str, entry: CacheEntry) -> None:
+        self._entries[path] = entry
+        self._touched.add(path)
+
+    def save(self) -> None:
+        """Persist touched entries (best-effort; failures are silent).
+
+        Entries never touched this run belonged to files outside the
+        linted path set; they are kept, so alternating between linting
+        subtrees does not thrash the cache.
+        """
+        payload = {
+            "version": self.version,
+            "entries": {
+                key: entry.to_dict()
+                for key, entry in sorted(self._entries.items())
+            },
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:  # pragma: no cover - disk-full etc.
+            pass

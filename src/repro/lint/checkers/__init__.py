@@ -13,6 +13,10 @@ from .rpr003_set_iteration import SetIterationChecker
 from .rpr004_wallclock import WallClockChecker
 from .rpr005_pool_closures import PoolClosureChecker
 from .rpr006_mutable_defaults import MutableDefaultChecker
+from .rpr101_engine_parity import EngineParityChecker
+from .rpr102_dtype_width import DtypeWidthChecker
+from .rpr103_cachekey_taint import CacheKeyTaintChecker
+from .rpr104_observer_writes import ObserverWriteChecker
 
 __all__ = [
     "UnseededRngChecker",
@@ -21,4 +25,8 @@ __all__ = [
     "WallClockChecker",
     "PoolClosureChecker",
     "MutableDefaultChecker",
+    "EngineParityChecker",
+    "DtypeWidthChecker",
+    "CacheKeyTaintChecker",
+    "ObserverWriteChecker",
 ]

@@ -1,0 +1,380 @@
+"""RPR102: numpy integer width hazards (int32 overflow, uint64 mixing).
+
+The kernel layer stores CSR indices as ``int32`` and bitsets as packed
+``uint64`` words -- deliberate, cache-friendly choices that become
+silent correctness bugs at the million-terminal scale the extreme-
+scale roadmap targets:
+
+* ``int32 * int32`` (and ``+``) wraps at ``2**31`` with **no warning**
+  from numpy -- flattened pair keys (``source * num_dests + dest``)
+  cross that line near ~46k sources;
+* storing an unbounded Python count (``len(values)``, a running
+  total) into an ``int32`` array truncates the same way;
+* ``cumsum`` over an ``int32`` array accumulates in ``int32``;
+* mixing ``uint64`` words with *signed* operands silently promotes
+  the whole expression to ``float64`` (or raises, for shifts) --
+  numpy's classic uint64 trap.
+
+The checker tracks dtypes locally: explicit ``dtype=`` keywords,
+``astype(...)``, scalar constructors (``np.int32(...)``), ``NDArray``
+parameter annotations, and propagation through arithmetic, unary ops
+and subscripts.  Anything it cannot prove is left alone -- scoped to
+files that import numpy, it reports only arithmetic whose operand
+widths it actually derived, so a finding is worth reading.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+#: Canonical numpy array constructors whose ``dtype=`` kwarg names the
+#: element type of the result.
+_CONSTRUCTORS = frozenset({
+    "zeros", "ones", "full", "empty", "arange", "fromiter", "asarray",
+    "array", "frombuffer", "fromstring", "linspace",
+})
+
+#: dtype spellings -> width class we reason about.
+_DTYPE_NAMES = {
+    "int32": "int32", "i4": "int32", "<i4": "int32",
+    "int64": "int64", "i8": "int64", "<i8": "int64",
+    "intp": "int64", "int_": "int64", "int": "int64", "long": "int64",
+    "uint64": "uint64", "u8": "uint64", "<u8": "uint64",
+    "int8": "small", "int16": "small", "uint8": "small",
+    "uint16": "small", "uint32": "small",
+}
+
+_SIGNED = frozenset({"int32", "int64", "small"})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod, ast.Pow)
+_SHIFT_OPS = (ast.LShift, ast.RShift)
+
+
+def _dtype_from_token(token: str) -> str | None:
+    return _DTYPE_NAMES.get(token.split(".")[-1])
+
+
+def _iter_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes
+    (each function body is analyzed with its own :class:`_Scope`)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Scope:
+    """Dtype facts for one function (or the module top level)."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.vars: dict[str, str] = {}
+
+    # -- dtype of an expression, or None when unknown ------------------
+
+    def dtype_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return self.vars.get(node.id)
+        if isinstance(node, ast.Subscript):
+            # A slice/index of a typed array keeps the element type.
+            return self.dtype_of(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.dtype_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self.dtype_of(node.left)
+            right = self.dtype_of(node.right)
+            if left == right:
+                return left
+            # array op python-int-literal keeps the array dtype
+            # (numpy value-based scalar casting).
+            if left is not None and self._is_int_literal(node.right):
+                return left
+            if right is not None and self._is_int_literal(node.left):
+                return right
+            return None
+        if isinstance(node, ast.Call):
+            return self._dtype_of_call(node)
+        return None
+
+    @staticmethod
+    def _is_int_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, int)
+
+    def _dtype_token(self, node: ast.expr) -> str | None:
+        """The width class named by a dtype expression."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return _DTYPE_NAMES.get(node.value)
+        canonical = self.ctx.imports.resolve(node)
+        if canonical is not None and canonical.split(".")[0] in (
+            "numpy", "np"
+        ):
+            return _dtype_from_token(canonical)
+        if isinstance(node, ast.Name) and node.id == "int":
+            return "int64"
+        if isinstance(node, ast.Attribute):
+            return _dtype_from_token(node.attr)
+        return None
+
+    def _dtype_of_call(self, node: ast.Call) -> str | None:
+        # <expr>.astype(D)
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if node.args:
+                return self._dtype_token(node.args[0])
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    return self._dtype_token(kw.value)
+            return None
+        canonical = self.ctx.imports.resolve(node.func)
+        if canonical is None:
+            return None
+        parts = canonical.split(".")
+        if parts[0] not in ("numpy", "np"):
+            return None
+        # Scalar constructors: np.int32(x), np.uint64(1).
+        scalar = _DTYPE_NAMES.get(parts[-1])
+        if scalar is not None:
+            return scalar
+        if parts[-1] in _CONSTRUCTORS:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    return self._dtype_token(kw.value)
+        return None
+
+    # -- seeding -------------------------------------------------------
+
+    def seed_params(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            text = ast.unparse(arg.annotation)
+            if "NDArray" not in text and "ndarray" not in text:
+                continue
+            for token, width in _DTYPE_NAMES.items():
+                if f"np.{token}" in text or f"numpy.{token}" in text:
+                    self.vars[arg.arg] = width
+                    break
+
+    def seed_assignments(self, body: list[ast.stmt]) -> None:
+        for stmt in _iter_scope(body):
+            if isinstance(stmt, ast.Assign):
+                value_dtype = self.dtype_of(stmt.value)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._bind(target.id, value_dtype)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.value is not None:
+                    self._bind(stmt.target.id, self.dtype_of(stmt.value))
+
+    def _bind(self, name: str, dtype: str | None) -> None:
+        if dtype is None:
+            # A later untyped rebind poisons the fact: drop it rather
+            # than reason from a stale width.
+            self.vars.pop(name, None)
+        elif self.vars.get(name) not in (None, dtype):
+            self.vars.pop(name, None)
+        else:
+            self.vars[name] = dtype
+
+
+@register
+class DtypeWidthChecker(Checker):
+    CODE = "RPR102"
+    SUMMARY = (
+        "int32 index arithmetic that can overflow and uint64/signed "
+        "mixing that silently promotes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._imports_numpy(ctx):
+            return
+        module_scope = _Scope(ctx)
+        module_scope.seed_assignments(list(ctx.tree.body))
+        yield from self._check_body(ctx, module_scope, ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = _Scope(ctx)
+                scope.vars.update(module_scope.vars)
+                scope.seed_params(node)
+                scope.seed_assignments(list(node.body))
+                yield from self._check_body(ctx, scope, node.body)
+
+    @staticmethod
+    def _imports_numpy(ctx: FileContext) -> bool:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                if any(a.name.split(".")[0] == "numpy" for a in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "numpy":
+                    return True
+        return False
+
+    def _check_body(
+        self, ctx: FileContext, scope: _Scope, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        for node in _iter_scope(body):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, scope, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, scope, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                yield from self._check_store(ctx, scope, node)
+
+    # -- rules ---------------------------------------------------------
+
+    def _check_binop(
+        self, ctx: FileContext, scope: _Scope, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        left = scope.dtype_of(node.left)
+        right = scope.dtype_of(node.right)
+        # Rule A: int32 +/-/* int32 (or int literal) can overflow.
+        if isinstance(node.op, (ast.Add, ast.Mult)):
+            if left == "int32" and (
+                right == "int32" or scope._is_int_literal(node.right)
+            ) or right == "int32" and scope._is_int_literal(node.left):
+                op = "*" if isinstance(node.op, ast.Mult) else "+"
+                yield self.finding(
+                    ctx, node,
+                    f"int32 {op} int32 arithmetic wraps silently at "
+                    "2**31 -- flattened keys and edge counts cross that "
+                    "line near 10^6 terminals; widen with "
+                    ".astype(np.int64) (or build as intp) before "
+                    "arithmetic",
+                )
+                return
+        # Rule B: uint64 mixed with a signed operand promotes to
+        # float64 (arith) or raises (shifts).
+        if isinstance(node.op, (*_ARITH_OPS, *_SHIFT_OPS, ast.BitAnd,
+                                ast.BitOr, ast.BitXor)):
+            pairs = ((left, node.right, right), (right, node.left, left))
+            for this, other_node, other in pairs:
+                if this != "uint64":
+                    continue
+                if other in _SIGNED:
+                    yield self.finding(
+                        ctx, node,
+                        "uint64 mixed with a signed operand silently "
+                        "promotes the expression to float64 (or raises "
+                        "for shifts), corrupting packed bitset words; "
+                        "wrap the operand in np.uint64(...) / "
+                        ".astype(np.uint64)",
+                    )
+                    return
+                if isinstance(node.op, _SHIFT_OPS) and scope._is_int_literal(
+                    other_node
+                ) and isinstance(other_node, ast.UnaryOp):
+                    # A negative literal shift is always wrong; plain
+                    # positive literals are fine (value-based casting).
+                    yield self.finding(
+                        ctx, node,
+                        "negative shift amount against a uint64 operand",
+                    )
+                    return
+
+    def _check_call(
+        self, ctx: FileContext, scope: _Scope, node: ast.Call
+    ) -> Iterator[Finding]:
+        # Rule C: truncating cast of a product/accumulation.
+        target: str | None = None
+        operand: ast.expr | None = None
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            target = scope._dtype_token(node.args[0]) if node.args else None
+            operand = node.func.value
+        else:
+            canonical = ctx.imports.resolve(node.func)
+            if canonical is not None and canonical.split(".")[0] in (
+                "numpy", "np"
+            ) and _DTYPE_NAMES.get(canonical.split(".")[-1]) in (
+                "int32", "small"
+            ):
+                target = _DTYPE_NAMES[canonical.split(".")[-1]]
+                operand = node.args[0] if node.args else None
+        if target in ("int32", "small") and operand is not None:
+            if self._is_accumulation(operand):
+                yield self.finding(
+                    ctx, node,
+                    "casting a product or accumulated sum down to "
+                    f"{target} truncates silently once the value "
+                    "exceeds the narrow range; cast the *inputs* down "
+                    "only after proving the bound, or keep int64",
+                )
+                return
+        # Rule E: cumsum over an int32 array accumulates in int32.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "cumsum":
+            canonical = ctx.imports.resolve(node.func)
+            arg: ast.expr | None
+            if canonical is not None and canonical.split(".")[0] in (
+                "numpy", "np"
+            ):
+                arg = node.args[0] if node.args else None
+            else:
+                arg = node.func.value
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            if arg is not None and not has_dtype and scope.dtype_of(
+                arg
+            ) == "int32":
+                yield self.finding(
+                    ctx, node,
+                    "cumsum over an int32 array accumulates in int32 "
+                    "and wraps at 2**31 total; pass dtype=np.int64 (or "
+                    "build the operand as intp)",
+                )
+
+    @staticmethod
+    def _is_accumulation(node: ast.expr) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in ("sum", "cumsum", "prod", "cumprod"):
+            return True
+        return False
+
+    def _check_store(
+        self, ctx: FileContext, scope: _Scope,
+        node: ast.Assign | ast.AugAssign,
+    ) -> Iterator[Finding]:
+        # Rule D: storing an unbounded Python count into an int32 slot.
+        targets = node.targets if isinstance(node, ast.Assign) else [
+            node.target
+        ]
+        value = node.value
+        unbounded = (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "len"
+            and ctx.is_builtin("len")
+        ) or (
+            isinstance(value, ast.BinOp) and isinstance(value.op, ast.Mult)
+            and scope.dtype_of(value) is None
+        )
+        if not unbounded:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            if scope.dtype_of(target.value) in ("int32", "small"):
+                yield self.finding(
+                    ctx, node,
+                    "storing an unbounded Python count into an "
+                    "int32 array truncates silently beyond 2**31 "
+                    "(candidate tables reach that at ~10^6 terminals); "
+                    "allocate the array as int64/intp",
+                )
+                return

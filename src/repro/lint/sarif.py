@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the format
+GitHub code scanning ingests: uploading one file per run puts every
+``RPR###`` finding inline on the PR diff, with the rule catalogue
+(name, short description, default severity) carried alongside so the
+UI can explain a finding without linking out.
+
+The emitter is deliberately minimal -- one ``run``, the registered
+checkers (plus the two runner-synthesized codes, parse errors and
+unjustified waivers) as ``rules``, one ``result`` per finding with a
+file-relative ``physicalLocation``.  Everything it writes is required
+or strongly recommended by the 2.1.0 schema; nothing depends on the
+host, the clock or absolute paths, so the same tree produces the same
+SARIF byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePosixPath
+from typing import Any, Sequence
+
+from .findings import PARSE_ERROR_CODE, Finding, Severity
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "format_sarif"]
+
+SARIF_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_TOOL_NAME = "repro.lint"
+_INFO_URI = "https://example.invalid/repro-rfc/docs/LINTING.md"
+
+#: Codes synthesized by the runner rather than a registered checker.
+_RUNNER_RULES = {
+    PARSE_ERROR_CODE: "file cannot be parsed; excluded from analysis",
+    "RPR999": "suppression comment without a written justification",
+}
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _relative_uri(file: str, base_dir: Path | None) -> str:
+    """A forward-slash, preferably base-relative artifact URI."""
+    path = Path(file)
+    if base_dir is not None:
+        try:
+            path = path.resolve().relative_to(base_dir.resolve())
+        except ValueError:
+            pass
+    return str(PurePosixPath(*path.parts))
+
+
+def _rules() -> list[dict[str, Any]]:
+    from .base import all_checkers, all_project_checkers
+
+    catalogue: dict[str, tuple[str, Severity]] = {}
+    for checker in (*all_checkers(), *all_project_checkers()):
+        catalogue[checker.CODE] = (checker.SUMMARY, checker.SEVERITY)
+    for code, summary in _RUNNER_RULES.items():
+        catalogue[code] = (summary, Severity.ERROR)
+    return [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "helpUri": _INFO_URI,
+            "defaultConfiguration": {"level": _level(severity)},
+        }
+        for code, (summary, severity) in sorted(catalogue.items())
+    ]
+
+
+def to_sarif(
+    findings: Sequence[Finding], base_dir: str | Path | None = None
+) -> dict[str, Any]:
+    """The findings as one SARIF 2.1.0 log object (a plain dict)."""
+    base = Path(base_dir) if base_dir is not None else None
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.file, base),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": _rules(),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding], base_dir: str | Path | None = None
+) -> str:
+    """:func:`to_sarif` serialized deterministically."""
+    return json.dumps(to_sarif(findings, base_dir), indent=2, sort_keys=True)

@@ -33,11 +33,14 @@ class CsrTable:
     The hop-by-hop routers answer ``next_hops(source, dest)`` with a
     freshly built Python list on every call; the simulator's fast path
     (:mod:`repro.simulation.fastpath`) instead precomputes every answer
-    once into two flat ``int32`` arrays:
+    once into two flat arrays:
 
-    * ``offsets`` -- shape ``(num_sources * num_dests + 1,)``; the
-      candidates of key ``k = source * num_dests + dest`` live in
-      ``values[offsets[k]:offsets[k + 1]]``;
+    * ``offsets`` -- shape ``(num_sources * num_dests + 1,)``,
+      ``int64``: the candidates of key ``k = source * num_dests +
+      dest`` live in ``values[offsets[k]:offsets[k + 1]]``.  Offsets
+      index the *concatenation* of every candidate list, a count that
+      grows past ``2**31`` near a million terminals, so they must be
+      wide even while the values stay ``int32``;
     * ``values`` -- the concatenated candidate ids (next-hop switches
       or output channel ids, depending on the builder);
 
@@ -78,7 +81,7 @@ class CsrTable:
     ) -> "CsrTable":
         """Materialize ``entry(source, dest) -> (flag, candidates)``
         for every key, in row-major (source-major) order."""
-        offsets = np.zeros(num_sources * num_dests + 1, dtype=np.int32)
+        offsets = np.zeros(num_sources * num_dests + 1, dtype=np.int64)
         flags = np.zeros(num_sources * num_dests, dtype=np.uint8)
         values: list[int] = []
         key = 0

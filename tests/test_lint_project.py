@@ -1,0 +1,474 @@
+"""The RPR10x project passes: engine-parity drift (including the
+seeded-mutation regression against the real tree), dtype/width
+hazards, cache-key taint and observer non-perturbation."""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.lint.checkers.rpr102_dtype_width import DtypeWidthChecker
+from repro.lint.runner import lint_source, run_analysis
+
+SRC_PACKAGE = Path(repro.__file__).resolve().parent
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+def _write(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+class TestEngineParityMutation:
+    """A field added to SimulationParams and consumed by only two of
+    the three engines must be caught -- the exact drift RPR101 exists
+    for, seeded into a copy of the real tree."""
+
+    def _mutated_tree(self, tmp_path):
+        tree = tmp_path / "repro"
+        shutil.copytree(
+            SRC_PACKAGE, tree,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        config = tree / "simulation" / "config.py"
+        config.write_text(
+            config.read_text().replace(
+                "    seed: int = 0",
+                "    seed: int = 0",
+                1,
+            ).replace(
+                "    valiant: bool = False",
+                "    valiant: bool = False\n    mutation_knob: int = 0",
+                1,
+            )
+        )
+        fastpath = tree / "simulation" / "fastpath.py"
+        source = fastpath.read_text()
+        marker = "def run_fast("
+        head, _, rest = source.partition(marker)
+        body_start = rest.index("\n") + 1
+        # First statement of run_fast reads the new knob; the reference
+        # engine reaches it through its lazy run_fast dispatch, the
+        # vectorized engine never does.
+        fastpath.write_text(
+            head + marker + rest[:body_start]
+            + "    _mutation = params.mutation_knob\n"
+            + rest[body_start:]
+        )
+        return tree
+
+    def test_mutation_is_caught(self, tmp_path):
+        tree = self._mutated_tree(tmp_path)
+        report = run_analysis([tree])
+        hits = [
+            f for f in report.findings
+            if f.code == "RPR101" and "mutation_knob" in f.message
+        ]
+        assert len(hits) == 1
+        (hit,) = hits
+        assert "accel.sim" in hit.message
+        assert "simulation.fastpath" not in hit.message.split("never read")[1]
+        assert hit.file.endswith("config.py")
+        assert not report.internal_errors
+
+    def test_unmutated_copy_is_clean(self, tmp_path):
+        tree = tmp_path / "repro"
+        shutil.copytree(
+            SRC_PACKAGE, tree,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        report = run_analysis([tree])
+        assert _codes(report.findings) == []
+        assert not report.internal_errors
+
+
+class TestCachePolicy:
+    FILES = {
+        "proj/__init__.py": "",
+        "proj/simulation/__init__.py": "",
+        "proj/simulation/config.py": """\
+            from dataclasses import dataclass
+
+            CACHE_KEY_EXCLUDED_FIELDS = frozenset({"fast_path"})
+
+            @dataclass(frozen=True)
+            class SimulationParams:
+                cycles: int = 10
+                fast_path: bool = True
+            """,
+        "proj/simulation/engine.py": """\
+            def run(params):
+                return params.cycles + int(params.fast_path)
+            """,
+        "proj/simulation/fastpath.py": """\
+            def run_fast(params):
+                return params.cycles + int(params.fast_path)
+            """,
+        "proj/accel/__init__.py": "",
+        "proj/accel/sim.py": """\
+            def run_vectorized(params):
+                return params.cycles + int(params.fast_path)
+            """,
+        "proj/exec/__init__.py": "",
+        "proj/exec/cache.py": """\
+            import dataclasses
+
+            def cache_key(params):
+                payload = dataclasses.asdict(params)
+                payload.pop("fast_path", None)
+                return sorted(payload.items())
+            """,
+    }
+
+    def test_declared_policy_is_clean(self, tmp_path):
+        _write(tmp_path, self.FILES)
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == []
+
+    def test_missing_declaration_fires(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/simulation/config.py"] = files[
+            "proj/simulation/config.py"
+        ].replace(
+            'CACHE_KEY_EXCLUDED_FIELDS = frozenset({"fast_path"})\n', ""
+        )
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        assert "RPR101" in _codes(report.findings)
+        (finding,) = report.findings
+        assert "CACHE_KEY_EXCLUDED_FIELDS" in finding.message
+
+    def test_undeclared_pop_fires_at_pop_site(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/exec/cache.py"] = textwrap.dedent(
+            files["proj/exec/cache.py"]
+        ).replace(
+            'payload.pop("fast_path", None)',
+            'payload.pop("fast_path", None)\n'
+            '    payload.pop("cycles", None)',
+        )
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR101"]
+        assert len(hits) == 1
+        assert "cycles" in hits[0].message
+        assert hits[0].file.endswith("cache.py")
+
+    def test_stale_exclusion_fires(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/simulation/config.py"] = files[
+            "proj/simulation/config.py"
+        ].replace('{"fast_path"}', '{"fast_path", "ghost_field"}')
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR101"]
+        assert len(hits) == 1
+        assert "ghost_field" in hits[0].message
+
+
+class TestDtypeWidth:
+    def _findings(self, source):
+        return lint_source(
+            textwrap.dedent(source), "kernel.py",
+            checkers=[DtypeWidthChecker()],
+        )
+
+    def test_int32_store_of_len(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def build(n, values):
+                offsets = np.zeros(n + 1, dtype=np.int32)
+                offsets[n] = len(values)
+                return offsets
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "unbounded Python count" in findings[0].message
+
+    def test_int64_store_is_clean(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def build(n, values):
+                offsets = np.zeros(n + 1, dtype=np.int64)
+                offsets[n] = len(values)
+                return offsets
+            """
+        )
+        assert findings == []
+
+    def test_int32_product_overflow(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def keys(sources, dests):
+                src = np.asarray(sources, dtype=np.int32)
+                dst = np.asarray(dests, dtype=np.int32)
+                return src * dst
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "wraps silently" in findings[0].message
+
+    def test_widened_product_is_clean(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def keys(sources, dests):
+                src = np.asarray(sources, dtype=np.int32)
+                dst = np.asarray(dests, dtype=np.int32)
+                return src.astype(np.int64) * dst.astype(np.int64)
+            """
+        )
+        assert findings == []
+
+    def test_uint64_signed_mix(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def mask(words, bits):
+                w = np.zeros(4, dtype=np.uint64)
+                b = np.zeros(4, dtype=np.int64)
+                return w & b
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "uint64" in findings[0].message
+
+    def test_uint64_uint64_is_clean(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def mask(idx):
+                w = np.zeros(4, dtype=np.uint64)
+                return w | np.uint64(1)
+            """
+        )
+        assert findings == []
+
+    def test_truncating_cast_of_product(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def flatten(rows, cols):
+                return (rows * cols).astype(np.int32)
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "truncates" in findings[0].message
+
+    def test_int32_cumsum(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def offsets(degrees):
+                d = np.asarray(degrees, dtype=np.int32)
+                return np.cumsum(d)
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "cumsum" in findings[0].message
+
+    def test_cumsum_with_wide_dtype_is_clean(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def offsets(degrees):
+                d = np.asarray(degrees, dtype=np.int32)
+                return np.cumsum(d, dtype=np.int64)
+            """
+        )
+        assert findings == []
+
+    def test_non_numpy_file_is_skipped(self):
+        findings = self._findings(
+            """\
+            def build(n, values):
+                offsets = [0] * (n + 1)
+                offsets[n] = len(values)
+                return offsets
+            """
+        )
+        assert findings == []
+
+
+class TestCacheKeyTaint:
+    FILES = {
+        "proj/__init__.py": "",
+        "proj/exec/__init__.py": "",
+        "proj/exec/cache.py": """\
+            from ..util import salt
+
+            def cache_key(payload):
+                return salt(repr(payload))
+            """,
+        "proj/util.py": """\
+            import os
+
+            def salt(text):
+                return (os.getenv("SALT") or "") + text
+            """,
+    }
+
+    def test_transitive_env_read_fires(self, tmp_path):
+        _write(tmp_path, self.FILES)
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR103"]
+        assert len(hits) == 1
+        (hit,) = hits
+        assert hit.file.endswith("util.py")
+        assert "os.getenv" in hit.message
+        assert "cache_key()" in hit.message
+        assert "salt()" in hit.message
+
+    def test_direct_wallclock_left_to_rpr004(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/exec/__init__.py": "",
+            "proj/exec/cache.py": """\
+                import time
+
+                def cache_key(payload):
+                    return f"{time.time()}-{payload}"
+                """,
+        })
+        report = run_analysis([tmp_path])
+        codes = _codes(report.findings)
+        assert "RPR004" in codes
+        assert "RPR103" not in codes
+
+    def test_pure_key_path_is_clean(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/exec/__init__.py": "",
+            "proj/exec/cache.py": """\
+                import hashlib
+
+                def cache_key(payload):
+                    digest = hashlib.sha256(payload.encode())
+                    return digest.hexdigest()
+                """,
+        })
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == []
+
+
+class TestObserverWrites:
+    def test_hook_writing_parameter_fires(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                class Meddler:
+                    def on_inject(self, sim, packet):
+                        sim.queue.append(packet)
+
+                    def on_drop(self, sim, packet):
+                        sim.drops = sim.drops + 1
+                """,
+        })
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR104"]
+        assert len(hits) == 2
+        assert all(h.file.endswith("hooks.py") for h in hits)
+        messages = " ".join(h.message for h in hits)
+        assert "append" in messages
+        assert "sim.drops" in messages
+
+    def test_self_accumulation_is_clean(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                class Metrics:
+                    def __init__(self):
+                        self.count = 0
+                        self.events = []
+
+                    def on_inject(self, sim, packet):
+                        self.count += 1
+                        self.events.append(packet.id)
+                """,
+        })
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == []
+
+    def test_transitive_write_via_helper_fires_with_chain(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                from ..fixup import drain
+
+                class Tracer:
+                    def on_eject(self, sim, packet):
+                        drain(sim)
+                """,
+            "proj/fixup.py": """\
+                def drain(sim):
+                    sim.pending.clear()
+                """,
+        })
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR104"]
+        assert len(hits) == 1
+        (hit,) = hits
+        assert hit.file.endswith("fixup.py")
+        assert "on_eject()" in hit.message
+        assert "drain()" in hit.message
+
+    def test_rng_draw_off_parameter_fires(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                class Sampler:
+                    def on_hop(self, sim, packet):
+                        return sim.rng.random() < 0.5
+                """,
+        })
+        report = run_analysis([tmp_path])
+        hits = [f for f in report.findings if f.code == "RPR104"]
+        assert len(hits) == 1
+        assert "rng" in hits[0].message
+
+    def test_project_finding_respects_waiver(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                class Meddler:
+                    def on_inject(self, sim, packet):
+                        sim.queue.append(packet)  # repro: allow-RPR104 -- test fixture exercising waivers
+                """,
+        })
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == []
+
+    def test_unjustified_waiver_becomes_rpr999(self, tmp_path):
+        _write(tmp_path, {
+            "proj/__init__.py": "",
+            "proj/obs/__init__.py": "",
+            "proj/obs/hooks.py": """\
+                class Meddler:
+                    def on_inject(self, sim, packet):
+                        sim.queue.append(packet)  # repro: allow-RPR104
+                """,
+        })
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == ["RPR999"]
