@@ -6,8 +6,10 @@ two-engine contract (the accelerated path must reproduce the reference
 exactly; the script fails on any signature drift):
 
 * **engine** -- the cycle-level simulator's reference engine against
-  the precomputed-route fast path and the vectorized SoA engine, plus
-  the observability overhead of the metrics / metrics+trace observers
+  the precomputed-route fast path, the vectorized SoA engine and the
+  relaxed counter-RNG engine (statistically equivalent, not
+  bit-for-bit; gated by ``--min-relaxed-speedup``), plus the
+  observability overhead of the metrics / metrics+trace observers
   (``BENCH_engine.json``);
 * **graphs** -- the pure-Python graph-analysis layer against the numpy
   kernels of :mod:`repro.accel` on a large RFC: all-sources batched
@@ -65,12 +67,17 @@ def bench(repeats: int, quick: bool) -> dict:
     )
     load = 0.7
 
-    # Reference vs fast path vs vectorized, bare runs.  Identical
-    # signatures are a hard requirement -- the accelerated engines'
-    # contract is bit-for-bit.
+    # Reference vs fast path vs vectorized vs relaxed, bare runs.
+    # Identical signatures are a hard requirement for the exact
+    # engines -- their contract is bit-for-bit.  The relaxed engine
+    # draws from a different (counter-based) RNG, so it is held to
+    # repeat determinism plus a throughput-plausibility band instead.
     engines: dict[str, dict] = {}
-    for engine in ("reference", "fast", "vectorized"):
-        eng_params = params.scaled(engine=engine)
+    for engine in ("reference", "fast", "vectorized", "relaxed"):
+        if engine == "relaxed":
+            eng_params = params.scaled(rng_mode="relaxed")
+        else:
+            eng_params = params.scaled(engine=engine)
         elapsed = 0.0
         checksum = None
         for _ in range(repeats):
@@ -97,10 +104,22 @@ def bench(repeats: int, quick: bool) -> dict:
                 f"{engines['reference']['signature']} != "
                 f"{engines[engine]['signature']}"
             )
+    for engine in ("fast", "vectorized", "relaxed"):
         engines[engine]["speedup_vs_reference"] = round(
             engines[engine]["cycles_per_sec"]
             / engines["reference"]["cycles_per_sec"],
             2,
+        )
+    # Plausibility band for the statistically-validated engine: a
+    # relaxed accepted load more than 10% off the reference means a
+    # broken engine, not RNG noise (the equivalence suite holds the
+    # same workload shape to 2%).
+    ref_accepted = engines["reference"]["signature"][0]
+    rel_accepted = engines["relaxed"]["signature"][0]
+    if abs(rel_accepted - ref_accepted) > 0.10 * ref_accepted:
+        raise AssertionError(
+            f"relaxed accepted load {rel_accepted} implausibly far "
+            f"from reference {ref_accepted}"
         )
     # Back-compat alias used by older tooling: the fast path's ratio.
     engines["speedup"] = engines["fast"]["speedup_vs_reference"]
@@ -322,6 +341,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the vectorized engine beats the reference "
              "by at least this ratio (0 disables the gate)",
     )
+    parser.add_argument(
+        "--min-relaxed-speedup", type=float, default=0.0,
+        help="fail unless the relaxed (counter-RNG) engine beats the "
+             "reference by at least this ratio (0 disables the gate)",
+    )
     args = parser.parse_args(argv)
 
     payload = bench(repeats=max(1, args.repeats), quick=args.quick)
@@ -335,12 +359,24 @@ def main(argv: list[str] | None = None) -> int:
               f"{engines['reference']['cycles_per_sec']:,.0f} "
               f"({engines[engine]['speedup_vs_reference']}x speedup, "
               f"identical signatures)")
+    print(f"relaxed: {engines['relaxed']['cycles_per_sec']:,.0f} "
+          f"cycles/sec vs reference "
+          f"{engines['reference']['cycles_per_sec']:,.0f} "
+          f"({engines['relaxed']['speedup_vs_reference']}x speedup, "
+          f"statistically equivalent -- not bit-for-bit)")
     if args.min_vectorized_speedup > 0:
         measured = engines["vectorized"]["speedup_vs_reference"]
         if measured < args.min_vectorized_speedup:
             raise AssertionError(
                 f"vectorized speedup {measured}x below the required "
                 f"floor {args.min_vectorized_speedup}x"
+            )
+    if args.min_relaxed_speedup > 0:
+        measured = engines["relaxed"]["speedup_vs_reference"]
+        if measured < args.min_relaxed_speedup:
+            raise AssertionError(
+                f"relaxed speedup {measured}x below the required "
+                f"floor {args.min_relaxed_speedup}x"
             )
     bare = payload["modes"]["bare"]
     print(f"engine: {bare['cycles_per_sec']:,.0f} cycles/sec bare, "

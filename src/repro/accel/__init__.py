@@ -51,6 +51,18 @@ __all__ = [
     "popcount",
     "run_vectorized",
     "build_padded_candidates",
+    "run_relaxed",
+    "build_relaxed_candidates",
+    "KeyedStream",
+    "counter_key",
+    "draw64",
+    "draw64_array",
+    "key_seed",
+    "mix64",
+    "mix64_array",
+    "randbelow",
+    "uniform01",
+    "uniform01_array",
 ]
 
 try:  # pragma: no cover - numpy is a hard dependency, but stay import-safe
@@ -76,6 +88,19 @@ if AVAILABLE:
         words_for,
     )
     from .csr import CsrAdjacency, gather_min, gather_or
+    from .relaxed import build_relaxed_candidates, run_relaxed
+    from .rng import (
+        KeyedStream,
+        counter_key,
+        draw64,
+        draw64_array,
+        key_seed,
+        mix64,
+        mix64_array,
+        randbelow,
+        uniform01,
+        uniform01_array,
+    )
     from .sim import build_padded_candidates, run_vectorized
     from .sweeps import StageSweeper
 

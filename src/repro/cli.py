@@ -74,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "(struct-of-arrays state with batched "
                           "candidate gathering) or 'reference' (the "
                           "oracle); results are bit-for-bit identical")
+    sim.add_argument("--rng-mode",
+                     choices=["exact", "relaxed"],
+                     default="exact",
+                     help="'exact' (default): one shared sequential RNG "
+                          "stream, bit-for-bit reproducible across all "
+                          "engines; 'relaxed': counter-based per-packet "
+                          "RNG on the fully batched engine -- much "
+                          "faster, deterministic per seed, but NOT "
+                          "bit-for-bit comparable to exact-mode results "
+                          "(statistical equivalence only; ignores "
+                          "--engine)")
     sim.add_argument("--trace", metavar="PATH", default=None,
                      help="write a JSONL event trace (inject/hop/eject/"
                           "drop) to PATH")
@@ -233,11 +244,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         topo, _ = rfc_with_updown(args.radix, args.leaves, args.levels,
                                   rng=args.seed)
+    relaxed = getattr(args, "rng_mode", "exact") == "relaxed"
+    if relaxed:
+        # Loud, up-front, and on stderr: numbers produced in this mode
+        # are deterministic for the seed but not comparable bit-for-bit
+        # with exact-mode runs (or with the paper pins).
+        print(
+            "WARNING: --rng-mode relaxed is NOT bit-for-bit "
+            "reproducible against exact-mode runs; results are only "
+            "statistically equivalent (see docs/PERFORMANCE.md). "
+            "Publishable numbers should use --rng-mode exact.",
+            file=sys.stderr,
+        )
     params = SimulationParams(
         measure_cycles=args.cycles,
         warmup_cycles=args.warmup,
         seed=args.seed,
-        engine=args.engine,
+        # Relaxed mode has exactly one engine; the selection knob only
+        # applies to the exact engines.
+        engine="" if relaxed else args.engine,
+        rng_mode="relaxed" if relaxed else "exact",
     )
     traffic = make_traffic(args.traffic, topo.num_terminals,
                            rng=args.seed + 101)

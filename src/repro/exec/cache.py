@@ -13,9 +13,13 @@ by everything that can influence it:
 * every field of :class:`~repro.simulation.config.SimulationParams`
   (including the engine seed) -- *except* the engine-selection knobs
   declared in :data:`~repro.simulation.config
-  .CACHE_KEY_EXCLUDED_FIELDS`: all engines are bit-for-bit identical
-  (enforced by the differential suite), so engine selection must not
-  change the digest and every engine shares entries;
+  .CACHE_KEY_EXCLUDED_FIELDS`: all exact engines are bit-for-bit
+  identical (enforced by the differential suite), so engine selection
+  must not change the digest and every engine shares entries.
+  ``rng_mode`` deliberately stays *in* the key: relaxed-mode results
+  are only statistically equivalent, so a relaxed run must never be
+  served from (or overwrite) an exact entry -- lint pass RPR105 guards
+  this;
 * the sorted set of **removed links** (fault experiments);
 * a **code version** tag (:data:`CODE_VERSION`) bumped whenever the
   simulator's semantics change, so stale results from an older engine
@@ -82,7 +86,9 @@ def cache_key(
     # must not (and does not) influence the digest: caches written
     # before the fast path (or the vectorized engine) existed keep
     # hitting.  The excluded set is declared next to the dataclass
-    # (and cross-checked by lint pass RPR101), not hand-rolled here.
+    # (and cross-checked by lint passes RPR101/RPR105), not hand-rolled
+    # here; ``rng_mode`` is NOT in that set, so relaxed-mode results
+    # key separately from exact ones.
     for excluded in sorted(CACHE_KEY_EXCLUDED_FIELDS):
         params_payload.pop(excluded, None)
     payload = {

@@ -48,6 +48,8 @@ RPR103    wall-clock/env/RNG impurity reaching cache-key or seed
           derivation through *any* call chain
 RPR104    code reachable from observer hooks writing engine state or
           advancing RNG streams
+RPR105    relaxed ``rng_mode`` results reaching a cache key or pinned
+          comparison without the mode recorded
 ========  ==========================================================
 
 Run it as ``python -m repro.lint src`` or ``repro-rfc lint``; exit

@@ -17,6 +17,7 @@ from .rpr101_engine_parity import EngineParityChecker
 from .rpr102_dtype_width import DtypeWidthChecker
 from .rpr103_cachekey_taint import CacheKeyTaintChecker
 from .rpr104_observer_writes import ObserverWriteChecker
+from .rpr105_relaxed_rng import RelaxedRngChecker
 
 __all__ = [
     "UnseededRngChecker",
@@ -29,4 +30,5 @@ __all__ = [
     "DtypeWidthChecker",
     "CacheKeyTaintChecker",
     "ObserverWriteChecker",
+    "RelaxedRngChecker",
 ]

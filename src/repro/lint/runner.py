@@ -364,7 +364,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "AST and whole-program determinism/reproducibility checks "
-            "(RPR001-RPR006 per file, RPR101-RPR104 across the project). "
+            "(RPR001-RPR006 per file, RPR101-RPR105 across the project). "
             "Exit 1 when findings remain, 2 on usage or internal errors."
         ),
     )

@@ -13,11 +13,14 @@ from dataclasses import dataclass
 __all__ = ["CACHE_KEY_EXCLUDED_FIELDS", "SimulationParams"]
 
 #: Fields excluded from :func:`repro.exec.cache.cache_key`.  All three
-#: engines are bit-for-bit identical, so *which* engine computed a
-#: result must not split the cache key space -- a sweep run with the
+#: exact engines are bit-for-bit identical, so *which* engine computed
+#: a result must not split the cache key space -- a sweep run with the
 #: vectorized engine has to hit entries written by the reference one.
-#: Every other field participates in the key; the RPR101 lint pass
-#: cross-checks this declaration against the cache layer's actual
+#: ``rng_mode`` is deliberately **not** here: relaxed-mode results are
+#: only statistically equivalent to exact ones, so they must never be
+#: served from (or poison) an exact-mode cache entry.  Every other
+#: field participates in the key; the RPR101/RPR105 lint passes
+#: cross-check this declaration against the cache layer's actual
 #: exclusions, so policy changes happen here, on the record.
 CACHE_KEY_EXCLUDED_FIELDS = frozenset({"fast_path", "engine"})
 
@@ -93,6 +96,22 @@ class SimulationParams:
         bit-for-bit identical (enforced by the three-way conformance
         matrix in ``tests/test_fastpath_differential.py``), so this
         field is also excluded from the result-cache key.
+    rng_mode:
+        ``"exact"`` (default) consumes one shared sequential
+        ``random.Random`` stream, making every engine bit-for-bit
+        reproducible -- publishable numbers use this.  ``"relaxed"``
+        switches to the counter-based per-packet RNG
+        (:mod:`repro.accel.rng`) and the fully batched relaxed engine
+        (:mod:`repro.accel.relaxed`): results are deterministic for a
+        given seed but **not** bit-for-bit comparable to exact-mode
+        runs -- only statistically equivalent, which
+        ``tests/test_relaxed_rng_equivalence.py`` enforces.  Because
+        results differ, this field **participates in the result-cache
+        key** (unlike ``engine``/``fast_path``); the RPR105 lint pass
+        guards that.  Relaxed mode supports only the paper's Table 2
+        arbitration defaults (``arbiter="random"``,
+        ``up_selection="random"``) and refuses exact-only ``engine``
+        selections.
     seed:
         Master RNG seed (traffic, ECMP choices, arbitration).
     """
@@ -110,6 +129,7 @@ class SimulationParams:
     valiant: bool = False
     fast_path: bool = True  # repro: allow-RPR101 -- engine-selection knob read by the simulate() dispatcher, never by an engine; excluded from the cache key because results are identical
     engine: str = ""  # repro: allow-RPR101 -- engine-selection knob read by the simulate() dispatcher, never by an engine; excluded from the cache key because results are identical
+    rng_mode: str = "exact"  # repro: allow-RPR101 -- mode-selection knob read by the run() dispatcher via engine_name; the exact engines predate it by definition, and unlike engine/fast_path it stays IN the cache key (results are not bit-for-bit)
     seed: int = 0  # repro: allow-RPR101 -- consumed in Simulator.__init__'s RNG construction, shared verbatim by all three engines
 
     def __post_init__(self) -> None:
@@ -147,10 +167,30 @@ class SimulationParams:
                 f"engine must be 'reference', 'fast' or 'vectorized', "
                 f"got {self.engine!r}"
             )
+        if self.rng_mode not in ("exact", "relaxed"):
+            raise ValueError(
+                f"rng_mode must be 'exact' or 'relaxed', "
+                f"got {self.rng_mode!r}"
+            )
+        if self.rng_mode == "relaxed":
+            if self.engine in ("reference", "fast"):
+                raise ValueError(
+                    "rng_mode='relaxed' runs only on the batched relaxed "
+                    f"engine; engine={self.engine!r} is exact-only"
+                )
+            if self.arbiter != "random" or self.up_selection != "random":
+                raise ValueError(
+                    "rng_mode='relaxed' supports only the paper's random "
+                    "arbitration and random up-selection "
+                    f"(got arbiter={self.arbiter!r}, "
+                    f"up_selection={self.up_selection!r})"
+                )
 
     @property
     def engine_name(self) -> str:
-        """Resolved engine: explicit ``engine`` wins over ``fast_path``."""
+        """Resolved engine: ``rng_mode`` then ``engine`` then ``fast_path``."""
+        if self.rng_mode == "relaxed":
+            return "relaxed"
         if self.engine:
             return self.engine
         return "fast" if self.fast_path else "reference"

@@ -8,14 +8,25 @@ counts are expensive are additionally marked ``slow``.
 
 import os
 import random
+import sys
 
 import pytest
 from hypothesis import settings
+
+# Make sibling helper modules (statcheck, ...) importable regardless
+# of how pytest was invoked; tests/ is not a package.
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.core.rfc import radix_regular_rfc, rfc_with_updown
 
 settings.register_profile("dev", deadline=None)
 settings.register_profile("ci", deadline=None, max_examples=60)
+# The statistical-equivalence job runs with fixed seeds and a higher
+# example budget: its assertions are calibrated, so more examples only
+# add evidence, and derandomization keeps reruns identical.
+settings.register_profile(
+    "statistical", deadline=None, max_examples=100, derandomize=True
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.topologies.fattree import commodity_fat_tree, k_ary_l_tree
 from repro.topologies.oft import orthogonal_fat_tree

@@ -1,0 +1,191 @@
+"""Statistical-equivalence helpers for exact-vs-relaxed comparisons.
+
+The relaxed engine (``rng_mode="relaxed"``) is deterministic for a
+given seed but draws its randomness from a counter-based keyed hash
+instead of the exact engines' shared sequential stream, so its results
+can only be compared *distributionally*.  This module provides the
+small, dependency-light toolkit ``test_relaxed_rng_equivalence.py``
+builds its assertions from:
+
+* :func:`replication_sweep` -- run one simulation per seed and collect
+  accepted loads, latency means and the raw per-packet latency samples
+  (read off the live :class:`~repro.simulation.stats.SimStats`, which
+  the summary :class:`~repro.simulation.stats.SimResult` does not
+  carry).
+* :func:`bootstrap_ci` -- percentile bootstrap confidence interval on
+  a mean, driven by a pinned ``random.Random`` seed so the suite is
+  deterministic end to end.
+* :func:`intervals_overlap` -- CI-overlap acceptance on paired sweeps.
+* :func:`ks_2sample` -- two-sample Kolmogorov-Smirnov statistic and
+  asymptotic p-value; delegates to :mod:`scipy.stats` when available
+  and falls back to a self-contained implementation otherwise (same
+  asymptotic formula, adequate for the sample sizes used here).
+
+Everything here is pure measurement -- thresholds live in the tests,
+pinned next to the seeds that produced them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.simulation.config import SimulationParams
+from repro.simulation.engine import Simulator
+from repro.simulation.traffic import make_traffic
+
+__all__ = [
+    "SweepSample",
+    "bootstrap_ci",
+    "intervals_overlap",
+    "ks_2sample",
+    "replication_sweep",
+]
+
+#: Traffic-seed offset, mirroring the executor/load_sweep convention of
+#: deriving the pattern seed from the engine seed.
+TRAFFIC_SEED_OFFSET = 7_919
+
+
+@dataclass(frozen=True)
+class SweepSample:
+    """Per-seed measurements of one (topology, traffic, load) point."""
+
+    accepted_loads: tuple[float, ...]
+    latency_means: tuple[float, ...]
+    #: Raw measured per-packet latencies, one tuple per seed.
+    latency_samples: tuple[tuple[int, ...], ...]
+
+    @property
+    def mean_accepted(self) -> float:
+        return sum(self.accepted_loads) / len(self.accepted_loads)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latency_means) / len(self.latency_means)
+
+
+def replication_sweep(
+    topo,
+    traffic_name: str,
+    load: float,
+    params: SimulationParams,
+    seeds,
+    max_samples_per_seed: int = 4_000,
+) -> SweepSample:
+    """Run one simulation per seed; collect the equivalence inputs.
+
+    The traffic pattern is rebuilt per seed (stateful patterns must
+    never be shared across runs), and latency samples are subsampled
+    by a deterministic stride to ``max_samples_per_seed`` so the KS
+    test's power stays calibrated to the tolerance the suite pins
+    rather than growing unboundedly with the measurement window.
+    """
+    accepted: list[float] = []
+    means: list[float] = []
+    samples: list[tuple[int, ...]] = []
+    for seed in seeds:
+        traffic = make_traffic(
+            traffic_name,
+            topo.num_terminals,
+            rng=seed + TRAFFIC_SEED_OFFSET,
+        )
+        sim = Simulator(topo, traffic, load, params.scaled(seed=seed))
+        result = sim.run()
+        accepted.append(result.accepted_load)
+        means.append(result.avg_latency)
+        lats = sim._stats.latencies
+        if len(lats) > max_samples_per_seed:
+            stride = -(-len(lats) // max_samples_per_seed)
+            lats = lats[::stride]
+        samples.append(tuple(lats))
+    return SweepSample(
+        accepted_loads=tuple(accepted),
+        latency_means=tuple(means),
+        latency_samples=tuple(samples),
+    )
+
+
+def bootstrap_ci(
+    values,
+    confidence: float = 0.95,
+    n_boot: int = 4_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``values``.
+
+    Deterministic for a given ``seed``; resampling uses the stdlib RNG
+    so the harness works without numpy/scipy.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("bootstrap_ci needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(data)
+    rng = random.Random(seed)
+    boot_means = sorted(
+        sum(rng.choice(data) for _ in range(n)) / n for _ in range(n_boot)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_idx = int(alpha * (n_boot - 1))
+    hi_idx = int((1.0 - alpha) * (n_boot - 1))
+    return boot_means[lo_idx], boot_means[hi_idx]
+
+
+def intervals_overlap(
+    a: tuple[float, float], b: tuple[float, float]
+) -> bool:
+    """Whether two closed intervals intersect."""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def _ks_pvalue(d: float, n_eff: float) -> float:
+    """Asymptotic two-sided KS p-value (Kolmogorov distribution).
+
+    Uses the standard Smirnov series with the small-sample continuity
+    tweak scipy applies in asymptotic mode.
+    """
+    t = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * d
+    if t <= 0.0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * t * t)
+        total += term
+        if abs(term) < 1e-10:
+            break
+    return max(0.0, min(1.0, total))
+
+
+def ks_2sample(a, b) -> tuple[float, float]:
+    """Two-sample KS statistic and (asymptotic) two-sided p-value.
+
+    Prefers :func:`scipy.stats.ks_2samp`; the fallback computes the
+    exact supremum distance over the pooled sample and the classical
+    asymptotic p-value, which is what the pinned thresholds in the
+    equivalence suite are calibrated against.
+    """
+    xs = sorted(a)
+    ys = sorted(b)
+    if not xs or not ys:
+        raise ValueError("ks_2sample needs two non-empty samples")
+    try:
+        from scipy.stats import ks_2samp
+    except ImportError:
+        pass
+    else:
+        res = ks_2samp(xs, ys, method="asymp")
+        return float(res.statistic), float(res.pvalue)
+    n, m = len(xs), len(ys)
+    i = j = 0
+    d = 0.0
+    while i < n and j < m:
+        if xs[i] <= ys[j]:
+            i += 1
+        else:
+            j += 1
+        d = max(d, abs(i / n - j / m))
+    n_eff = n * m / (n + m)
+    return d, _ks_pvalue(d, n_eff)

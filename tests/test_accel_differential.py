@@ -6,9 +6,18 @@ masks after conversion, same router tables, same fault thresholds,
 same exceptions.  This suite enforces the contract on a randomized
 matrix of RFC, CFT and RRN instances: any divergence is a kernel bug
 by definition, never a tolerance question.
+
+The relaxed engine (``rng_mode="relaxed"``) is the one deliberate
+exception -- it is *not* held to bit-for-bit equality (see
+``test_relaxed_rng_equivalence.py``), but it must not *perturb* the
+engines that are: ``TestRelaxedNoPerturbation`` runs a relaxed
+simulation first and then re-checks the exact engines against the
+golden pins in the same process.
 """
 
+import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -202,6 +211,71 @@ class TestFaultThresholdEquality:
             order = shuffled_links(folded, rng=seed)
             assert order_threshold(folded, order, accel=True) == \
                 order_threshold(folded, order, accel=False)
+
+
+class TestRelaxedNoPerturbation:
+    """Exact engines stay bit-for-bit pinned after a relaxed run.
+
+    The relaxed engine shares the ``repro.accel`` package (numpy
+    mirrors, module-level salts, cached tables) with the exact
+    vectorized engine.  Running it must leave no trace: a relaxed
+    simulation executed *first* in the same process may not change a
+    single bit of any exact engine's subsequent output vs the pre-PR
+    golden snapshot ``tests/data/golden_load_sweep.json``.
+    """
+
+    GOLDEN = Path(__file__).parent / "data" / "golden_load_sweep.json"
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(self.GOLDEN.read_text())
+
+    @pytest.fixture(scope="class")
+    def golden_topo(self):
+        from repro.core.rfc import rfc_with_updown
+
+        topo, _ = rfc_with_updown(8, 16, 3, rng=7)
+        return topo
+
+    @pytest.fixture(scope="class", autouse=True)
+    def relaxed_run_first(self, golden_topo):
+        """Exercise the relaxed code paths before any exact check."""
+        from repro.simulation.config import SimulationParams
+        from repro.simulation.engine import simulate
+        from repro.simulation.traffic import make_traffic
+
+        params = SimulationParams(
+            measure_cycles=400,
+            warmup_cycles=100,
+            seed=3,
+            rng_mode="relaxed",
+        )
+        traffic = make_traffic(
+            "uniform", golden_topo.num_terminals, rng=params.seed + 7_919
+        )
+        result = simulate(golden_topo, traffic, 0.5, params)
+        assert result.delivered_packets > 0
+        return result
+
+    @pytest.mark.parametrize(
+        "engine", ["reference", "fast", "vectorized"]
+    )
+    def test_exact_engines_unperturbed(self, golden_topo, golden, engine):
+        from repro.simulation.config import SimulationParams
+        from repro.simulation.engine import load_sweep
+
+        params = SimulationParams(
+            measure_cycles=400, warmup_cycles=100, seed=3, engine=engine
+        )
+        results = load_sweep(golden_topo, "uniform", [0.2, 0.5, 0.8], params)
+        assert [r.core_dict() for r in results] == golden
+
+    def test_relaxed_differs_from_exact_pins(self, relaxed_run_first, golden):
+        """Sanity guard on the guard: the relaxed result really does
+        come from a different draw sequence, so a silent fall-through
+        to an exact engine would be caught here."""
+        exact_mid = golden[1]  # load 0.5 entry of the sweep
+        assert relaxed_run_first.core_dict() != exact_mid
 
 
 class TestFallbacks:

@@ -171,6 +171,145 @@ class TestCachePolicy:
         assert "ghost_field" in hits[0].message
 
 
+class TestRelaxedRngPolicy:
+    """RPR105: ``rng_mode`` must stay in the cache key.  A tree where
+    the relaxed mode exists and the key serializes params wholesale
+    (with only exact-engine knobs excluded) is the blessed shape."""
+
+    FILES = {
+        "proj/__init__.py": "",
+        "proj/simulation/__init__.py": "",
+        "proj/simulation/config.py": """\
+            from dataclasses import dataclass
+
+            CACHE_KEY_EXCLUDED_FIELDS = frozenset({"fast_path"})
+
+            @dataclass(frozen=True)
+            class SimulationParams:
+                cycles: int = 10
+                fast_path: bool = True
+                rng_mode: str = "exact"
+            """,
+        "proj/simulation/engine.py": """\
+            def run(params):
+                return params.cycles + int(params.fast_path) + len(params.rng_mode)
+            """,
+        "proj/simulation/fastpath.py": """\
+            def run_fast(params):
+                return params.cycles + int(params.fast_path) + len(params.rng_mode)
+            """,
+        "proj/accel/__init__.py": "",
+        "proj/accel/sim.py": """\
+            def run_vectorized(params):
+                return params.cycles + int(params.fast_path) + len(params.rng_mode)
+            """,
+        "proj/exec/__init__.py": "",
+        "proj/exec/cache.py": """\
+            import dataclasses
+
+            def cache_key(params):
+                payload = dataclasses.asdict(params)
+                payload.pop("fast_path", None)
+                return sorted(payload.items())
+            """,
+    }
+
+    def _rpr105(self, report):
+        return [f for f in report.findings if f.code == "RPR105"]
+
+    def test_mode_in_key_is_clean(self, tmp_path):
+        _write(tmp_path, self.FILES)
+        report = run_analysis([tmp_path])
+        assert _codes(report.findings) == []
+
+    def test_declared_exclusion_fires(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/simulation/config.py"] = files[
+            "proj/simulation/config.py"
+        ].replace('{"fast_path"}', '{"fast_path", "rng_mode"}')
+        # Match the declaration in the cache layer so RPR101 stays
+        # quiet: a *consistent* exclusion of the mode is exactly the
+        # policy bug RPR105 exists to reject.
+        files["proj/exec/cache.py"] = textwrap.dedent(
+            files["proj/exec/cache.py"]
+        ).replace(
+            'payload.pop("fast_path", None)',
+            'payload.pop("fast_path", None)\n'
+            '    payload.pop("rng_mode", None)',
+        )
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        assert "RPR101" not in _codes(report.findings)
+        hits = self._rpr105(report)
+        assert len(hits) == 2  # declaration + pop site
+        by_file = sorted(h.file.rsplit("/", 1)[-1] for h in hits)
+        assert by_file == ["cache.py", "config.py"]
+        messages = " ".join(h.message for h in hits)
+        assert "rng_mode" in messages
+        assert "statistically" in messages
+
+    def test_undeclared_pop_fires(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/exec/cache.py"] = textwrap.dedent(
+            files["proj/exec/cache.py"]
+        ).replace(
+            'payload.pop("fast_path", None)',
+            'payload.pop("fast_path", None)\n'
+            '    payload.pop("rng_mode", None)',
+        )
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        hits = self._rpr105(report)
+        assert len(hits) == 1
+        assert hits[0].file.endswith("cache.py")
+        assert "never be popped" in hits[0].message
+        # RPR101 also flags the pop as undeclared: one defect, both
+        # the consistency and the policy angle reported.
+        assert "RPR101" in _codes(report.findings)
+
+    def test_handrolled_key_omitting_mode_fires(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/exec/cache.py"] = """\
+            def cache_key(params):
+                return (params.cycles, params.fast_path)
+            """
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        hits = self._rpr105(report)
+        assert len(hits) == 1
+        assert hits[0].file.endswith("cache.py")
+        assert "without recording 'rng_mode'" in hits[0].message
+        assert "cycles" in hits[0].message
+
+    def test_handrolled_key_reading_mode_is_clean(self, tmp_path):
+        files = dict(self.FILES)
+        files["proj/exec/cache.py"] = """\
+            def cache_key(params):
+                return (params.cycles, params.fast_path, params.rng_mode)
+            """
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        assert self._rpr105(report) == []
+
+    def test_tree_without_rng_mode_is_silent(self, tmp_path):
+        """Pre-relaxed checkouts must not be retrofitted with findings
+        even when they exclude engine knobs and hand-roll keys."""
+        files = dict(self.FILES)
+        files["proj/simulation/config.py"] = files[
+            "proj/simulation/config.py"
+        ].replace('    rng_mode: str = "exact"\n', "")
+        for mod in ("engine", "fastpath"):
+            files[f"proj/simulation/{mod}.py"] = files[
+                f"proj/simulation/{mod}.py"
+            ].replace(" + len(params.rng_mode)", "")
+        files["proj/accel/sim.py"] = files["proj/accel/sim.py"].replace(
+            " + len(params.rng_mode)", ""
+        )
+        _write(tmp_path, files)
+        report = run_analysis([tmp_path])
+        assert self._rpr105(report) == []
+
+
 class TestDtypeWidth:
     def _findings(self, source):
         return lint_source(

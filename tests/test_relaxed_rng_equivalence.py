@@ -1,0 +1,166 @@
+"""Statistical equivalence of the relaxed engine vs the exact engines.
+
+The relaxed engine trades the exact engines' bit-for-bit contract for
+a counter-based keyed RNG (:mod:`repro.accel.rng`), so its validation
+is distributional: paired replication sweeps must agree on saturation
+throughput, accepted-load means and latency distributions.  Three
+pinned scenarios cover the paper's claims:
+
+* the fig-8 working point -- uniform traffic on the canonical small
+  RFC at 0.7 load;
+* an adversarial scenario -- random-pairing (a worst-ish-case
+  permutation workload) at 0.6 load;
+* saturation -- uniform at 0.95 offered load, where only throughput
+  agreement is meaningful.
+
+Latency distributions are compared with two-sample KS.  Within one
+seed the sample is an autocorrelated queueing realization, so raw KS
+p-values reject even for two *exact* runs that differ only in seed;
+the suite therefore calibrates against that null: the exact-vs-relaxed
+pooled KS distance must not exceed the exact-vs-exact distance between
+two disjoint seed pools (times a margin), plus an absolute effect-size
+floor, and a thinned subsample (which breaks most of the
+autocorrelation) must pass a conventional p-value bar.  Every seed,
+tolerance and bootstrap draw is pinned, so the suite is fully
+deterministic -- a failure means the engines drifted, not bad luck.
+"""
+
+from __future__ import annotations
+
+import pytest
+from statcheck import (
+    bootstrap_ci,
+    intervals_overlap,
+    ks_2sample,
+    replication_sweep,
+)
+
+from repro.simulation.config import SimulationParams
+
+pytestmark = [pytest.mark.slow, pytest.mark.statistical]
+
+#: Seed pools: the relaxed sweep reuses EXACT_SEEDS_A so the
+#: comparison is paired; EXACT_SEEDS_B provides the same-engine null.
+EXACT_SEEDS_A = range(0, 8)
+EXACT_SEEDS_B = range(8, 16)
+
+#: Pooled KS acceptance: distance(exact, relaxed) must stay within
+#: NULL_MARGIN x distance(exact, exact') or below the absolute floor.
+KS_NULL_MARGIN = 1.5
+KS_ABS_FLOOR = 0.03
+
+#: Thinned-KS bar: stride-subsampled pools (breaking autocorrelation)
+#: must not reject at this level.
+KS_THINNED_ALPHA = 0.01
+KS_THINNED_N = 1_500
+
+#: Accepted-load means must agree within this relative tolerance.
+ACCEPTED_REL_TOL = 0.02
+
+BASE = SimulationParams(measure_cycles=2_000, warmup_cycles=500)
+
+
+def _pool(samples):
+    return [x for per_seed in samples for x in per_seed]
+
+
+def _thin(pool, target):
+    if len(pool) <= target:
+        return list(pool)
+    stride = -(-len(pool) // target)
+    return list(pool[::stride])
+
+
+def _check_equivalence(topo, traffic, load, check_latency=True):
+    exact_a = replication_sweep(topo, traffic, load, BASE, EXACT_SEEDS_A)
+    exact_b = replication_sweep(topo, traffic, load, BASE, EXACT_SEEDS_B)
+    relaxed = replication_sweep(
+        topo, traffic, load, BASE.scaled(rng_mode="relaxed"), EXACT_SEEDS_A
+    )
+
+    # -- throughput: relative agreement and CI overlap ------------------
+    rel_err = abs(
+        relaxed.mean_accepted - exact_a.mean_accepted
+    ) / exact_a.mean_accepted
+    assert rel_err < ACCEPTED_REL_TOL, (
+        f"accepted-load means diverged: exact {exact_a.mean_accepted:.4f} "
+        f"vs relaxed {relaxed.mean_accepted:.4f} ({rel_err:.1%})"
+    )
+    acc_exact_ci = bootstrap_ci(exact_a.accepted_loads, seed=101)
+    acc_relaxed_ci = bootstrap_ci(relaxed.accepted_loads, seed=102)
+    assert intervals_overlap(acc_exact_ci, acc_relaxed_ci), (
+        f"accepted-load CIs disjoint: exact {acc_exact_ci} vs "
+        f"relaxed {acc_relaxed_ci}"
+    )
+
+    if not check_latency:
+        return
+
+    # -- latency means: CI overlap --------------------------------------
+    lat_exact_ci = bootstrap_ci(exact_a.latency_means, seed=103)
+    lat_relaxed_ci = bootstrap_ci(relaxed.latency_means, seed=104)
+    assert intervals_overlap(lat_exact_ci, lat_relaxed_ci), (
+        f"latency-mean CIs disjoint: exact {lat_exact_ci} vs "
+        f"relaxed {lat_relaxed_ci}"
+    )
+
+    # -- latency distributions: null-calibrated KS ----------------------
+    pool_a = _pool(exact_a.latency_samples)
+    pool_b = _pool(exact_b.latency_samples)
+    pool_r = _pool(relaxed.latency_samples)
+    d_null, _ = ks_2sample(pool_a, pool_b)
+    d_cross, _ = ks_2sample(pool_a, pool_r)
+    bound = max(KS_ABS_FLOOR, KS_NULL_MARGIN * d_null)
+    assert d_cross <= bound, (
+        f"latency KS distance {d_cross:.4f} exceeds the calibrated "
+        f"bound {bound:.4f} (same-engine null {d_null:.4f})"
+    )
+    _, p_thin = ks_2sample(
+        _thin(pool_a, KS_THINNED_N), _thin(pool_r, KS_THINNED_N)
+    )
+    assert p_thin >= KS_THINNED_ALPHA, (
+        f"thinned KS rejected: p={p_thin:.4f} < {KS_THINNED_ALPHA}"
+    )
+
+
+def test_uniform_fig8_equivalence(rfc_small):
+    """Paper fig-8 working point: uniform traffic at 0.7 load."""
+    _check_equivalence(rfc_small, "uniform", 0.7)
+
+
+def test_adversarial_pairing_equivalence(rfc_small):
+    """Adversarial permutation workload: random-pairing at 0.6 load."""
+    _check_equivalence(rfc_small, "random-pairing", 0.6)
+
+
+def test_saturation_throughput_equivalence(rfc_small):
+    """Past saturation (0.95 offered) the engines must agree on the
+    saturated throughput; latency means explode with the queue
+    horizon, so only the distribution (not its bootstrap mean CI) is
+    compared."""
+    exact = replication_sweep(
+        rfc_small, "uniform", 0.95, BASE, EXACT_SEEDS_A
+    )
+    relaxed = replication_sweep(
+        rfc_small,
+        "uniform",
+        0.95,
+        BASE.scaled(rng_mode="relaxed"),
+        EXACT_SEEDS_A,
+    )
+    rel_err = abs(
+        relaxed.mean_accepted - exact.mean_accepted
+    ) / exact.mean_accepted
+    assert rel_err < ACCEPTED_REL_TOL
+    acc_exact_ci = bootstrap_ci(exact.accepted_loads, seed=105)
+    acc_relaxed_ci = bootstrap_ci(relaxed.accepted_loads, seed=106)
+    assert intervals_overlap(acc_exact_ci, acc_relaxed_ci)
+
+
+def test_relaxed_repeat_determinism(rfc_small):
+    """Same seed, same relaxed run -- repeats are bit-for-bit equal
+    even though the mode is not comparable to exact runs."""
+    params = BASE.scaled(rng_mode="relaxed")
+    first = replication_sweep(rfc_small, "uniform", 0.7, params, [3])
+    second = replication_sweep(rfc_small, "uniform", 0.7, params, [3])
+    assert first == second
