@@ -1,0 +1,10 @@
+"""Benchmark: the FCT load sweep (flow workloads, RFC vs CFT)."""
+
+from repro.experiments.fct_sweep import run
+
+
+def test_fct_sweep_quick(benchmark):
+    table = benchmark.pedantic(run, kwargs={"quick": True}, rounds=1,
+                               iterations=1)
+    assert table.rows, "fct sweep produced no rows"
+    assert any(row[0] == "incast" for row in table.rows)

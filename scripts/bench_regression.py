@@ -124,6 +124,69 @@ def bench(repeats: int, quick: bool) -> dict:
     # Back-compat alias used by older tooling: the fast path's ratio.
     engines["speedup"] = engines["fast"]["speedup_vs_reference"]
 
+    # Flow-workload throughput: the incast scenario (the FCT layer's
+    # discriminating workload) per engine, reported as completed flows
+    # per wall second.  The exact engines must agree bit-for-bit on
+    # the full flow_complete record stream, not just the summary.
+    from repro.obs.trace import TraceWriter
+    from repro.workloads import make_workload, run_workload
+
+    wl_params = SimulationParams(
+        measure_cycles=1_500 if quick else 4_000, warmup_cycles=0, seed=5
+    )
+    wl_duration = wl_params.horizon // 2
+    workloads: dict[str, dict] = {}
+    exact_stream = None
+    for engine in ("reference", "fast", "vectorized", "relaxed"):
+        if engine == "relaxed":
+            eng_params = wl_params.scaled(rng_mode="relaxed")
+        else:
+            eng_params = wl_params.scaled(engine=engine)
+        elapsed = 0.0
+        flows_done = 0
+        checksum = None
+        stream = None
+        for _ in range(repeats):
+            workload = make_workload(
+                "incast", topo.num_terminals, seed=9, fanin=8,
+                rpc_size=4, events=4, duration=wl_duration,
+            )
+            writer = TraceWriter(None)
+            start = time.perf_counter()
+            result = run_workload(
+                topo, workload, eng_params, trace_writer=writer
+            )
+            elapsed += time.perf_counter() - start
+            fs = result.flow_stats
+            flows_done += fs["flows_completed"]
+            sig = (fs["flows_completed"], fs["fct_mean"], fs["fct_p99"])
+            if checksum is None:
+                checksum = sig
+                stream = writer.records()
+            elif checksum != sig:
+                raise AssertionError(
+                    f"non-deterministic workload repeat in {engine}"
+                )
+        if engine != "relaxed":
+            if exact_stream is None:
+                exact_stream = stream
+            elif stream != exact_stream:
+                raise AssertionError(
+                    f"{engine} flow_complete stream drifted from the "
+                    "reference engine"
+                )
+        workloads[engine] = {
+            "signature": list(checksum),
+            "wall_seconds": round(elapsed, 4),
+            "flows_per_sec": round(flows_done / elapsed, 1),
+        }
+    for engine in ("fast", "vectorized", "relaxed"):
+        workloads[engine]["speedup_vs_reference"] = round(
+            workloads[engine]["flows_per_sec"]
+            / workloads["reference"]["flows_per_sec"],
+            2,
+        )
+
     # Observability overhead, measured on the (default) fast path.
     modes: dict[str, dict] = {}
 
@@ -194,6 +257,18 @@ def bench(repeats: int, quick: bool) -> dict:
         },
         "result_signature": signatures["bare"],
         "engines": engines,
+        "workloads": {
+            "scenario": {
+                "workload": "incast",
+                "fanin": 8,
+                "rpc_size": 4,
+                "events": 4,
+                "duration": wl_duration,
+                "horizon": wl_params.horizon,
+                "seed": 9,
+            },
+            "engines": workloads,
+        },
         "modes": modes,
         "peak_rss_kb": peak_rss_kb,
     }
@@ -378,6 +453,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"relaxed speedup {measured}x below the required "
                 f"floor {args.min_relaxed_speedup}x"
             )
+    wl_engines = payload["workloads"]["engines"]
+    print("workloads (incast): "
+          + ", ".join(
+              f"{name} {wl_engines[name]['flows_per_sec']:,.0f} flows/sec"
+              for name in ("reference", "fast", "vectorized", "relaxed")
+          ))
     bare = payload["modes"]["bare"]
     print(f"engine: {bare['cycles_per_sec']:,.0f} cycles/sec bare, "
           f"metrics overhead {payload['modes']['metrics']['overhead_pct']}%, "

@@ -415,7 +415,20 @@ def run_relaxed(sim) -> SimResult:
         if silent is None or not silent(term)
     ]
     log1m = math.log1p(-rate) if rate < 1.0 else None
-    if active:
+    # Flow workloads (duck-typed on ``flow_schedule``) replace the
+    # Bernoulli pregeneration entirely: the schedule's flattened
+    # per-packet arrival arrays come pre-sorted by (time, terminal,
+    # serial) -- the same time-major order the lexsort below produces
+    # -- with destinations and serials pinned by the schedule, so no
+    # counter-RNG is consumed for arrivals or destinations.
+    flow_schedule = getattr(traffic, "flow_schedule", None)
+    flow_mode = flow_schedule is not None
+    if flow_mode:
+        arr_time_l, arr_term_l, arr_dst_l, arr_serial_l = (
+            flow_schedule.arrival_lists(horizon)
+        )
+        arr_k_l: list[int] = []
+    elif active:
         act_np = np.array(active, dtype=np.int64)
         act_u64 = act_np.astype(np.uint64)[:, None]
         chunks: list[np.ndarray] = []
@@ -462,7 +475,11 @@ def run_relaxed(sim) -> SimResult:
 
     from ..simulation.traffic import UniformTraffic
 
-    uniform_dst = type(traffic) is UniformTraffic and num_terminals > 1
+    uniform_dst = (
+        not flow_mode
+        and type(traffic) is UniformTraffic
+        and num_terminals > 1
+    )
     if uniform_dst and n_arr:
         term_u = np.array(arr_term_l, dtype=np.uint64)
         k_u = np.array(arr_k_l, dtype=np.uint64)
@@ -472,7 +489,7 @@ def run_relaxed(sim) -> SimResult:
         arr_dst_l = (
             r.astype(np.int64) + (r >= term_u).astype(np.int64)
         ).tolist()
-    else:
+    elif not flow_mode:
         arr_dst_l = []
     destination = traffic.destination
     dead = bytearray(num_terminals)
@@ -539,30 +556,42 @@ def run_relaxed(sim) -> SimResult:
         # -- arrivals ---------------------------------------------------
         while gp < n_arr and arr_time_l[gp] == t:
             terminal = arr_term_l[gp]
-            if dead[terminal]:
-                gp += 1
-                continue
-            if uniform_dst:
+            if flow_mode:
+                # Scheduled release: destination and serial are pinned
+                # by the schedule (serials identify flows across
+                # engines); valiant detours below stay keyed by serial.
                 dst = arr_dst_l[gp]
+                serial = arr_serial_l[gp]
+                gp += 1
+                if serial >= next_serial:
+                    next_serial = serial + 1
+                packet = Packet(terminal, dst, t, serial=serial)
             else:
-                try:
-                    dst = destination(
-                        terminal,
-                        KeyedStream(
-                            hseed,
-                            terminal,
-                            (arr_k_l[gp] << SITE_BITS) | SITE_TRAFFIC,
-                        ),
-                    )
-                except LookupError:
-                    # The reference stops generating for this terminal
-                    # on the first failed lookup; mirror that.
-                    dead[terminal] = 1
+                if dead[terminal]:
                     gp += 1
                     continue
-            gp += 1
-            packet = Packet(terminal, dst, t, serial=next_serial)
-            next_serial += 1
+                if uniform_dst:
+                    dst = arr_dst_l[gp]
+                else:
+                    try:
+                        dst = destination(
+                            terminal,
+                            KeyedStream(
+                                hseed,
+                                terminal,
+                                (arr_k_l[gp] << SITE_BITS) | SITE_TRAFFIC,
+                            ),
+                        )
+                    except LookupError:
+                        # The reference stops generating for this
+                        # terminal on the first failed lookup; mirror
+                        # that.
+                        dead[terminal] = 1
+                        gp += 1
+                        continue
+                gp += 1
+                packet = Packet(terminal, dst, t, serial=next_serial)
+                next_serial += 1
             generated_local += 1
             if packet.serial < trace_limit:
                 traces[packet.serial] = [(t, "generate", terminal)]

@@ -10,6 +10,9 @@ Subcommands
     bisection bounds, generation attempts.
 ``simulate``
     One cycle-level simulation run (topology, traffic, load).
+``workload``
+    One open-loop flow workload run (poisson-mix / rpc / shuffle /
+    incast) with an FCT percentile table.
 ``experiment``
     Regenerate a paper table/figure by id (fig5, tab3, ... or 'all').
 ``scenarios``
@@ -92,6 +95,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the run's metrics registry (queue/credit "
                           "histograms, per-link loads, latency "
                           "percentiles) as JSON to PATH")
+
+    wl = sub.add_parser(
+        "workload", help="one open-loop flow workload run with FCT stats"
+    )
+    wl.add_argument("--pattern", default="poisson-mix",
+                    choices=["poisson-mix", "rpc", "shuffle", "incast"])
+    wl.add_argument("--topology", choices=["rfc", "cft"], default="rfc")
+    wl.add_argument("--radix", type=int, default=8)
+    wl.add_argument("--levels", type=int, default=3)
+    wl.add_argument("--leaves", type=int, default=32)
+    wl.add_argument("--load", type=float, default=0.5,
+                    help="target offered load for Poisson workloads")
+    wl.add_argument("--duration", type=int, default=2_000,
+                    help="flow arrival window in cycles")
+    wl.add_argument("--cycles", type=int, default=4_000,
+                    help="measured cycles (horizon = warmup + cycles; "
+                         "give completions headroom past --duration)")
+    wl.add_argument("--warmup", type=int, default=0,
+                    help="warmup cycles (workloads usually measure from "
+                         "cycle 0; flows are explicit, not steady-state)")
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--fanin", type=int, default=8,
+                    help="incast fan-in (workers per aggregator)")
+    wl.add_argument("--rpc-size", type=int, default=4,
+                    help="packets per rpc/incast flow")
+    wl.add_argument("--engine",
+                    choices=["fast", "reference", "vectorized"],
+                    default="fast",
+                    help="exact engine; the flow_complete stream is "
+                         "bit-for-bit identical across all three")
+    wl.add_argument("--rng-mode", choices=["exact", "relaxed"],
+                    default="exact",
+                    help="'relaxed': counter-RNG batched engine, "
+                         "statistically equivalent only (ignores "
+                         "--engine)")
+    wl.add_argument("--trace", metavar="PATH", default=None,
+                    help="write flow_complete JSONL records to PATH")
 
     exp = sub.add_parser("experiment", help="reproduce a paper table/figure")
     exp.add_argument("name", help="experiment id (fig5, tab3, ...) or 'all'")
@@ -303,6 +343,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .core.rfc import rfc_with_updown
+    from .obs import TraceWriter
+    from .simulation.config import SimulationParams
+    from .topologies.fattree import commodity_fat_tree
+    from .workloads import make_workload, run_workload
+
+    if args.topology == "cft":
+        topo = commodity_fat_tree(args.radix, args.levels)
+    else:
+        topo, _ = rfc_with_updown(args.radix, args.leaves, args.levels,
+                                  rng=args.seed)
+    relaxed = args.rng_mode == "relaxed"
+    if relaxed:
+        print(
+            "WARNING: --rng-mode relaxed is NOT bit-for-bit "
+            "reproducible against exact-mode runs; FCT distributions "
+            "are only statistically equivalent.",
+            file=sys.stderr,
+        )
+    params = SimulationParams(
+        measure_cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        seed=args.seed,
+        engine="" if relaxed else args.engine,
+        rng_mode="relaxed" if relaxed else "exact",
+    )
+    workload = make_workload(
+        args.pattern,
+        topo.num_terminals,
+        seed=args.seed + 101,
+        load=args.load,
+        duration=args.duration,
+        packet_phits=params.packet_phits,
+        fanin=args.fanin,
+        rpc_size=args.rpc_size,
+    )
+    writer = TraceWriter(args.trace) if args.trace else None
+    result = run_workload(topo, workload, params, trace_writer=writer)
+    if writer is not None:
+        writer.close()
+    fs = result.flow_stats
+    print(f"{topo.name}  workload={args.pattern}  "
+          f"engine={params.engine_name}  seed={args.seed}")
+    print(f"  flows: {fs['flows_completed']:,}/{fs['flows_total']:,} "
+          f"completed ({fs['flows_dropped']} dropped), "
+          f"{fs['packets']:,} packets delivered")
+    print(f"  accepted load {result.accepted_load:.3f} "
+          f"(offered {result.offered_load:.3f})")
+    print("  FCT cycles      mean      p50      p99     p999      max")
+    print(f"            {fs['fct_mean']:9.1f} {fs['fct_p50']:8.1f} "
+          f"{fs['fct_p99']:8.1f} {fs['fct_p999']:8.1f} "
+          f"{fs['fct_max']:8.1f}")
+    print(f"  slowdown (vs ideal serialization): "
+          f"mean {fs['slowdown_mean']:.2f}  p50 {fs['slowdown_p50']:.2f}  "
+          f"p99 {fs['slowdown_p99']:.2f}")
+    if writer is not None:
+        print(f"  trace: {writer.written:,} flow_complete records -> "
+              f"{args.trace}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import contextlib
     import json
@@ -433,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
         "simulate": _cmd_simulate,
+        "workload": _cmd_workload,
         "experiment": _cmd_experiment,
         "scenarios": _cmd_scenarios,
         "lint": _cmd_lint,

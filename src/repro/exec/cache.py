@@ -75,11 +75,18 @@ def cache_key(
     params: SimulationParams,
     traffic_seed: int,
     removed_links: tuple[Link, ...] | None = None,
+    workload: tuple | None = None,
 ) -> str:
     """Hex digest addressing one simulation point.
 
     The payload is canonical JSON (sorted keys, fixed separators) so
     the digest is stable across processes and Python versions.
+
+    ``workload`` is the optional canonical
+    :func:`repro.workloads.workload_spec` tuple a flow-workload task
+    carries; it only enters the payload when present, so every legacy
+    (pattern-traffic) key stays byte-identical to pre-workload
+    releases and existing caches keep hitting.
     """
     params_payload = dataclasses.asdict(params)
     # Engine selection produces identical results by contract, so it
@@ -101,6 +108,9 @@ def cache_key(
         "params": params_payload,
         "removed": sorted([link.lo, link.hi] for link in removed_links or ()),
     }
+    if workload is not None:
+        name, options = workload
+        payload["workload"] = [name, [list(kv) for kv in options]]
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -66,6 +66,15 @@ class SimTask:
     cache key -- observation cannot change the simulated numbers -- but
     collecting tasks skip the cache *read* so their metrics are always
     present (they still warm the cache for later bare runs).
+
+    ``workload`` switches the task from a named per-packet pattern to
+    an open-loop flow workload: a canonical
+    :func:`repro.workloads.workload_spec` tuple rebuilt inside the
+    worker with ``traffic_seed`` (the same rebuild-from-integers
+    discipline as traffic patterns).  Workload tasks carry their FCT
+    summary in ``SimResult.flow_stats`` -- a side channel the cache
+    strips -- so, like metrics collectors, they skip the cache read
+    but still warm it (the core result *is* keyed by the spec).
     """
 
     topo: FoldedClos | DirectNetwork
@@ -75,24 +84,35 @@ class SimTask:
     traffic_seed: int
     removed_links: tuple[Link, ...] | None = None
     collect_metrics: bool = False
+    workload: tuple | None = None
 
 
 def _execute(task: SimTask) -> tuple[SimResult, float]:
     """Run one task; returns (result, wall seconds).  Top-level so it
     pickles into pool workers."""
     start = time.perf_counter()
-    traffic = make_traffic(
-        task.traffic_name, task.topo.num_terminals, rng=task.traffic_seed
-    )
     observer = None
     if task.collect_metrics:
         from ..obs import MetricsObserver
 
         observer = MetricsObserver()
-    result = simulate(
-        task.topo, traffic, task.load, task.params, task.removed_links,
-        observer=observer,
-    )
+    if task.workload is not None:
+        from ..workloads import run_workload, workload_from_spec
+
+        traffic = workload_from_spec(
+            task.workload, task.topo.num_terminals, seed=task.traffic_seed
+        )
+        result = run_workload(
+            task.topo, traffic, task.params, observer=observer
+        )
+    else:
+        traffic = make_traffic(
+            task.traffic_name, task.topo.num_terminals, rng=task.traffic_seed
+        )
+        result = simulate(
+            task.topo, traffic, task.load, task.params, task.removed_links,
+            observer=observer,
+        )
     if observer is not None:
         result = dataclasses.replace(result, metrics=observer.export())
     return result, time.perf_counter() - start
@@ -167,11 +187,13 @@ class Executor:
                     task.params,
                     task.traffic_seed,
                     task.removed_links,
+                    workload=task.workload,
                 )
-                if task.collect_metrics:
-                    # Cached entries carry no metrics; recompute so the
-                    # observer export is present (the put below still
-                    # warms the cache for later bare runs).
+                if task.collect_metrics or task.workload is not None:
+                    # Cached entries carry no metrics (and no
+                    # flow_stats); recompute so the side channel is
+                    # present (the put below still warms the cache for
+                    # later bare runs).
                     continue
                 cached = self.cache.get(keys[i])
                 if cached is not None:

@@ -10,6 +10,7 @@ from typing import Callable
 
 from .common import Table
 from . import (
+    fct_sweep,
     fig5_diameter,
     fig6_scalability,
     fig7_expandability,
@@ -28,6 +29,7 @@ from . import (
 __all__ = ["EXPERIMENTS", "run_experiment", "Table"]
 
 EXPERIMENTS: dict[str, Callable[..., Table]] = {
+    "fct": fct_sweep.run,
     "thm42": thm42_threshold.run,
     "fig5": fig5_diameter.run,
     "fig6": fig6_scalability.run,

@@ -1,0 +1,105 @@
+"""FCT load sweep: RFC vs CFT under open-loop flow workloads.
+
+The paper's simulated figures compare accepted load and packet latency;
+datacenter evaluations (Jellyfish and the incast literature) compare
+**flow completion time**.  This sweep runs the :mod:`repro.workloads`
+layer over the equal-resources scenario networks: Poisson RPC arrivals
+swept across offered loads, plus one fixed incast point (the workload
+that stresses a single ejection port), reporting FCT percentiles and
+slowdown for both networks side by side.
+
+Every point is an independent executor task carrying its canonical
+workload spec, so sweeps parallelize and cache-key like any other
+(workload tasks skip the cache *read* -- their FCT summary is a side
+channel the cache strips -- but still warm it).
+"""
+
+from __future__ import annotations
+
+from ..simulation.config import SimulationParams
+from .common import Table, timed_note
+from .scenario_sim import build_networks
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, executor=None) -> Table:
+    from ..exec import get_executor
+    from ..exec.executor import SimTask
+    from ..workloads import workload_spec
+
+    networks = build_networks("equal-resources-11k", quick=quick, seed=seed)
+    loads = [0.2, 0.5] if quick else [0.2, 0.4, 0.6, 0.8]
+    duration = 600 if quick else 2_000
+    params = SimulationParams(
+        measure_cycles=(1_800 if quick else 6_000),
+        warmup_cycles=0,
+        seed=seed,
+    )
+    labels = [label for label, _ in networks.all()]
+    table = Table(
+        title="FCT sweep: RFC vs CFT, open-loop flow workloads",
+        headers=["workload", "load"]
+        + [
+            f"{label} {metric}"
+            for label in labels
+            for metric in ("p50 FCT", "p99 FCT", "p99 slowdown")
+        ],
+    )
+    table.note(
+        "networks -- "
+        + ", ".join(
+            f"{label}: T={net.num_terminals} ({net.name})"
+            for label, net in networks.all()
+        )
+    )
+    table.note(
+        f"rpc: Poisson arrivals over {duration} cycles, 4-packet flows; "
+        "incast: 8-way fan-in events, FCT in cycles"
+    )
+
+    specs: list[tuple[str, float, tuple]] = [
+        (
+            "rpc",
+            load,
+            workload_spec("rpc", load=load, duration=duration, rpc_size=4),
+        )
+        for load in loads
+    ]
+    specs.append(
+        (
+            "incast",
+            0.0,
+            workload_spec(
+                "incast", fanin=8, rpc_size=4, duration=duration, events=4
+            ),
+        )
+    )
+
+    runner = executor if executor is not None else get_executor()
+    tasks = [
+        SimTask(
+            topo=net,
+            traffic_name=f"flows:{name}",
+            load=load if load > 0.0 else 1e-9,
+            params=params,
+            traffic_seed=seed + 101,
+            workload=spec,
+        )
+        for name, load, spec in specs
+        for _, net in networks.all()
+    ]
+    with timed_note(table, "fct sweep"):
+        results, report = runner.run_sim_tasks(tasks)
+    table.note(report.note())
+
+    point = iter(results)
+    for name, load, _ in specs:
+        row: list = [name, load]
+        for _ in labels:
+            fs = next(point).flow_stats
+            row.extend(
+                [fs["fct_p50"], fs["fct_p99"], fs["slowdown_p99"]]
+            )
+        table.add(*row)
+    return table

@@ -32,6 +32,12 @@ This pass checks, over the whole program:
    in equality must be set by ``from_stats``'s constructor call (or
    carry ``field(compare=False)`` like ``metrics``), so a new output
    column cannot silently keep its default in all three engines.
+4. **Side-channel stripping** -- every ``SimResult`` field declared
+   ``compare=False`` (a side channel like ``metrics``,
+   ``latency_hist`` or ``flow_stats``) must be ``pop``-ed by a string
+   literal in ``core_dict``, so side channels can never leak into
+   cache entries or golden snapshots and silently change the on-disk
+   byte layout.
 
 Anchor modules are located by dotted suffix; when any anchor is
 missing (linting a partial tree or unrelated project) the pass is
@@ -205,4 +211,26 @@ class EngineParityChecker(ProjectChecker):
                 "call, so every engine would silently ship the "
                 "default; set it there or mark it "
                 "field(compare=False) with an explicit policy",
+            )
+        # -- 4. side-channel stripping --------------------------------
+        popped: set[str] = set()
+        has_core_dict = False
+        for fn in stats.functions.values():
+            if fn.name != "core_dict":
+                continue
+            has_core_dict = True
+            for call in fn.calls:
+                if call.target.endswith(".pop") and call.str_arg is not None:
+                    popped.add(call.str_arg)
+        if not has_core_dict:
+            return  # no canonical serializer to audit
+        for field in stats.classes[RESULT_CLASS].fields:
+            if field.compare or field.name in popped:
+                continue
+            yield self.finding(
+                stats.path, field.lineno, field.col,
+                f"{RESULT_CLASS}.{field.name} is compare=False (a side "
+                "channel) but core_dict never pops it, so it would leak "
+                "into cache entries and golden snapshots and change "
+                "their byte layout; add a literal pop there",
             )

@@ -11,6 +11,11 @@ it slower when nobody is looking:
   ``on_drop``) plus ready-made metrics and tracing observers;
 * :mod:`repro.obs.trace` -- bounded-buffer JSONL trace writer.
 
+The flow-workload layer's :class:`~repro.workloads.tracker.FlowTracker`
+(an observer emitting ``flow_complete`` trace records) is re-exported
+here lazily -- importing it eagerly would cycle back through
+:mod:`repro.workloads`, which itself imports these hooks.
+
 The engine takes an ``observer`` argument; ``None`` (the default)
 costs one pointer test per event and changes nothing -- instrumented
 and bare runs produce bit-for-bit identical :class:`SimResult`\\ s.
@@ -54,6 +59,7 @@ __all__ = [
     "TracingObserver",
     "MultiObserver",
     "TraceWriter",
+    "FlowTracker",
     "configure",
     "metrics_enabled",
     "using_metrics",
@@ -113,3 +119,13 @@ def collected() -> dict[str, dict]:
 def reset() -> None:
     """Drop all recorded metrics (the ambient switch is untouched)."""
     _collected.clear()
+
+
+def __getattr__(name: str):
+    # Lazy re-export (PEP 562): repro.workloads imports repro.obs.hooks,
+    # so an eager import here would be circular.
+    if name == "FlowTracker":
+        from ..workloads.tracker import FlowTracker
+
+        return FlowTracker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

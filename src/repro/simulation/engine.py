@@ -334,15 +334,26 @@ class Simulator:
         if self.observer is not None:
             self.observer.on_run_start(self)
 
-        # Seed generation events.
+        # Seed generation events.  Flow workloads (duck-typed on the
+        # traffic's ``flow_schedule``) release pre-scheduled packets
+        # and consume no RNG here, keeping the exact engines
+        # bit-for-bit identical in flow mode too.
         log1m = math.log1p(-rate) if rate < 1.0 else None
-        for terminal in range(self.topo.num_terminals):
-            silent = getattr(self.traffic, "is_silent", None)
-            if silent is not None and silent(terminal):
-                continue
-            first = self._next_gap(rng, rate, log1m) - 1
-            if first <= horizon:
-                self._push(first, _EV_GEN, terminal, 0)
+        schedule = getattr(self.traffic, "flow_schedule", None)
+        self._flow_schedule = schedule
+        if schedule is not None:
+            self._flow_cursor = [0] * self.topo.num_terminals
+            for terminal, row in enumerate(schedule.releases):
+                if row and row[0][0] <= horizon:
+                    self._push(row[0][0], _EV_GEN, terminal, 0)
+        else:
+            for terminal in range(self.topo.num_terminals):
+                silent = getattr(self.traffic, "is_silent", None)
+                if silent is not None and silent(terminal):
+                    continue
+                first = self._next_gap(rng, rate, log1m) - 1
+                if first <= horizon:
+                    self._push(first, _EV_GEN, terminal, 0)
 
         heap = self._heap
         while heap:
@@ -360,7 +371,10 @@ class Simulator:
                 if src >= 0:
                     self._schedule_arb(src, time)
             else:  # _EV_GEN
-                self._generate(a, time, rate, log1m, horizon)
+                if self._flow_schedule is not None:
+                    self._release_flows(a, time, horizon)
+                else:
+                    self._generate(a, time, rate, log1m, horizon)
 
         result = SimResult.from_stats(
             stats,
@@ -495,6 +509,37 @@ class Simulator:
             return
         packet = Packet(terminal, dst, time, serial=self._next_serial)
         self._next_serial += 1
+        self._admit(packet, time)
+        nxt = time + self._next_gap(self.rng, rate, log1m)
+        if nxt <= horizon:
+            self._push(nxt, _EV_GEN, terminal, 0)
+
+    def _release_flows(self, terminal: int, time: int, horizon: int) -> None:
+        """Release every scheduled packet of ``terminal`` due now.
+
+        Flow mode replaces Bernoulli generation with per-terminal GEN
+        chains walking :attr:`FlowSchedule.releases`: each GEN event
+        releases all packets whose start equals ``time`` (serials are
+        pre-assigned by the schedule, so the serial->flow mapping is
+        engine-independent) and re-arms at the next distinct release
+        time.  No RNG is consumed for arrivals or destinations.
+        """
+        row = self._flow_schedule.releases[terminal]
+        i = self._flow_cursor[terminal]
+        while i < len(row) and row[i][0] == time:
+            _, dst, serial = row[i]
+            if serial >= self._next_serial:
+                self._next_serial = serial + 1
+            self._admit(Packet(terminal, dst, time, serial=serial), time)
+            i += 1
+        self._flow_cursor[terminal] = i
+        if i < len(row) and row[i][0] <= horizon:
+            self._push(row[i][0], _EV_GEN, terminal, 0)
+
+    def _admit(self, packet: Packet, time: int) -> None:
+        """Count, (maybe) detour, and inject-or-drop one new packet."""
+        terminal = packet.src
+        dst = packet.dst
         if packet.serial < self.trace_limit:
             self.traces[packet.serial] = [(time, "generate", terminal)]
         self._stats.on_generated(time)
@@ -528,9 +573,6 @@ class Simulator:
                 self.observer.on_inject(time, packet, len(queue))
             if len(queue) == 1:
                 self._schedule_arb(self.ch_dst[cid], max(time, self.ch_blocked[cid]))
-        nxt = time + self._next_gap(self.rng, rate, log1m)
-        if nxt <= horizon:
-            self._push(nxt, _EV_GEN, terminal, 0)
 
     def _assign_valiant_via(self, packet: Packet) -> None:
         """Pick a random intermediate with both phases routable."""

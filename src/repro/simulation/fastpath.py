@@ -286,19 +286,32 @@ def run_fast(sim) -> SimResult:
         obs.on_run_start(sim)
 
     # ---- seed generation events (mirrors Simulator.run) ----------------
+    # Flow workloads (duck-typed on ``flow_schedule``) seed one GEN
+    # chain per terminal at its first release time and consume no RNG
+    # for arrivals or destinations -- bit-for-bit with the reference.
     log1m = math.log1p(-rate) if rate < 1.0 else None
     log = math.log
-    silent = getattr(traffic, "is_silent", None)
-    for terminal in range(num_terminals):
-        if silent is not None and silent(terminal):
-            continue
-        if log1m is None:
-            first = 0
-        else:
-            u = rng.random()
-            first = (int(log(u) / log1m) + 1 if u > 0.0 else 1) - 1
-        if first <= horizon:
-            buckets[first].append((_EV_GEN, terminal, 0))
+    flow_schedule = getattr(traffic, "flow_schedule", None)
+    if flow_schedule is not None:
+        flow_rows = flow_schedule.releases
+        flow_cursor = [0] * num_terminals
+        for terminal, row in enumerate(flow_rows):
+            if row and row[0][0] <= horizon:
+                buckets[row[0][0]].append((_EV_GEN, terminal, 0))
+    else:
+        flow_rows = None
+        flow_cursor = None
+        silent = getattr(traffic, "is_silent", None)
+        for terminal in range(num_terminals):
+            if silent is not None and silent(terminal):
+                continue
+            if log1m is None:
+                first = 0
+            else:
+                u = rng.random()
+                first = (int(log(u) / log1m) + 1 if u > 0.0 else 1) - 1
+            if first <= horizon:
+                buckets[first].append((_EV_GEN, terminal, 0))
 
     destination = traffic.destination
 
@@ -601,6 +614,75 @@ def run_fast(sim) -> SimResult:
 
             else:  # _EV_GEN -- mirrors Simulator._generate
                 terminal = a
+                if flow_rows is not None:
+                    # ---- mirrors Simulator._release_flows ----
+                    row = flow_rows[terminal]
+                    j = flow_cursor[terminal]
+                    while j < len(row) and row[j][0] == t:
+                        _, dst, serial = row[j]
+                        j += 1
+                        if serial >= next_serial:
+                            next_serial = serial + 1
+                        packet = Packet(terminal, dst, t, serial=serial)
+                        stats.generated_packets += 1
+                        if serial < trace_limit:
+                            traces[serial] = [(t, "generate", terminal)]
+                        if valiant:
+                            src_leaf_switch = leaf_switch[terminal // hosts]
+                            for _ in range(8):
+                                via = rng.randrange(num_terminals)
+                                via_leaf = via // hosts
+                                if (
+                                    routable[
+                                        src_leaf_switch * n_dests + via_leaf
+                                    ]
+                                    and routable[
+                                        leaf_switch[via_leaf] * n_dests
+                                        + dest_leaf[dst]
+                                    ]
+                                ):
+                                    packet.via = via
+                                    break
+                            else:
+                                packet.via = None
+                        if direct:
+                            ok = routable[
+                                dest_switch[terminal] * n_dests
+                                + dest_switch[dst]
+                            ]
+                        else:
+                            ok = routable[
+                                leaf_switch[terminal // hosts] * n_dests
+                                + dest_leaf[dst]
+                            ]
+                        if not ok:
+                            sim.unroutable_packets += 1
+                            if obs is not None:
+                                obs.on_drop(t, terminal, packet)
+                        else:
+                            cid = inject_channel[terminal]
+                            queue = ch_queues[cid][0]
+                            queue.append((t, packet))
+                            qlen = len(queue)
+                            if qlen > sim.max_inject_queue:
+                                sim.max_inject_queue = qlen
+                            if obs is not None:
+                                obs.on_inject(t, packet, qlen)
+                            if qlen == 1:
+                                blocked = ch_blocked[cid]
+                                when = blocked if blocked > t else t
+                                if when <= horizon:
+                                    leaf = ch_dst[cid]
+                                    mark = when * n_sw + leaf
+                                    if mark not in arb_marks:
+                                        arb_marks.add(mark)
+                                        buckets[when].append(
+                                            (_EV_ARB, leaf, 0)
+                                        )
+                    flow_cursor[terminal] = j
+                    if j < len(row) and row[j][0] <= horizon:
+                        buckets[row[j][0]].append((_EV_GEN, terminal, 0))
+                    continue
                 try:
                     dst = destination(terminal, rng)
                 except LookupError:

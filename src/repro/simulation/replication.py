@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import math
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..topologies.base import DirectNetwork, FoldedClos
 from .config import SimulationParams
-from .stats import SimResult
+from .stats import SimResult, pooled_latency_percentile
 
 __all__ = [
     "AggregateResult",
@@ -54,6 +54,14 @@ class AggregateResult:
     traffic: str
     topology: str
     results: tuple[SimResult, ...]
+    #: Pooled latency percentiles over the *combined* measured sample
+    #: of every replication.  ``latency_hist`` is a cache-stripped
+    #: side channel, so results replayed from the cache pool to NaN;
+    #: like their source the percentiles are excluded from equality
+    #: (warm and cold aggregates of the same point compare equal).
+    latency_p50: float = field(default=float("nan"), compare=False)
+    latency_p99: float = field(default=float("nan"), compare=False)
+    latency_p999: float = field(default=float("nan"), compare=False)
 
     def row(self) -> str:
         return (
@@ -78,9 +86,18 @@ def aggregate_replications(
     degenerate point must not masquerade as zero-variance), and a
     single valid latency yields stdev 0.0, mirroring
     ``accepted_stdev``'s single-sample guard.
+
+    Latency percentiles are **pooled**, not averaged: the exact
+    per-replication histograms are merged and the percentile taken
+    over the combined sample via
+    :func:`~repro.simulation.stats.pooled_latency_percentile`.  A mean
+    of per-replication p99s is *not* the p99 of the pooled sample (the
+    regression test in ``tests/test_workloads.py`` demonstrates the
+    difference), so no such shortcut is taken here.
     """
     if not results:
         raise ValueError("need at least one replication result")
+    hists = [r.latency_hist for r in results]
     accepted = [r.accepted_load for r in results]
     latencies = [r.avg_latency for r in results if not math.isnan(r.avg_latency)]
     if latencies:
@@ -101,6 +118,9 @@ def aggregate_replications(
         traffic=traffic_name,
         topology=topology_name,
         results=tuple(results),
+        latency_p50=pooled_latency_percentile(hists, 0.50),
+        latency_p99=pooled_latency_percentile(hists, 0.99),
+        latency_p999=pooled_latency_percentile(hists, 0.999),
     )
 
 

@@ -14,9 +14,48 @@ Statistics follow the paper's reporting:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["SimStats", "SimResult"]
+__all__ = ["SimStats", "SimResult", "pooled_latency_percentile"]
+
+#: ``SimResult`` fields that are observations *about* a run rather
+#: than the run's measurement identity: excluded from equality and
+#: hashing, popped in :meth:`SimResult.core_dict` so cached payloads
+#: never carry them.  The RPR101 result-coverage lint pass
+#: cross-checks that every ``compare=False`` field is popped there.
+_SIDE_CHANNEL_FIELDS = ("metrics", "latency_hist", "flow_stats")
+
+
+def pooled_latency_percentile(hists, fraction: float) -> float:
+    """Percentile over pooled per-replication latency histograms.
+
+    ``hists`` is an iterable of ``SimResult.latency_hist`` payloads
+    (sorted ``(latency, count)`` tuples; ``None`` entries -- cached or
+    legacy results -- are skipped).  Pooling the exact integer counts
+    and walking the merged distribution gives the percentile of the
+    *combined* sample, matching
+    :meth:`SimStats.latency_percentile`'s nearest-rank convention --
+    the correct merge that a mean of per-replication percentiles is
+    not (see ``tests/test_workloads.py::TestPercentileMerge``).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    pooled: Counter = Counter()
+    for hist in hists:
+        if hist:
+            for latency, count in hist:
+                pooled[latency] += count
+    total = sum(pooled.values())
+    if total == 0:
+        return float("nan")
+    target = min(total - 1, int(fraction * (total - 1)))
+    seen = 0
+    for latency in sorted(pooled):
+        seen += pooled[latency]
+        if seen > target:
+            return float(latency)
+    return float("nan")  # pragma: no cover - unreachable
 
 
 @dataclass
@@ -101,7 +140,13 @@ class SimResult:
     (a plain sorted-key dict) when the run was instrumented; it is
     ``None`` for bare runs, excluded from equality so instrumented and
     bare runs of the same seed compare equal, and stripped before the
-    result enters the on-disk cache.
+    result enters the on-disk cache.  ``latency_hist`` (exact sorted
+    ``(latency, count)`` pairs over the measured window, enabling the
+    correct pooled-percentile merge in
+    :func:`repro.simulation.replication.aggregate_replications`) and
+    ``flow_stats`` (the FCT summary a
+    :class:`~repro.workloads.tracker.FlowTracker` produced for
+    workload runs) follow the same side-channel policy.
     """
 
     offered_load: float
@@ -118,6 +163,8 @@ class SimResult:
     topology: str
     unroutable_packets: int = 0
     metrics: dict | None = field(default=None, compare=False)
+    latency_hist: tuple | None = field(default=None, compare=False)
+    flow_stats: dict | None = field(default=None, compare=False)
 
     def __eq__(self, other: object) -> bool:
         # Empty measurement windows carry NaN latency moments; the
@@ -128,7 +175,7 @@ class SimResult:
         if other.__class__ is not SimResult:
             return NotImplemented
         for name in self.__dataclass_fields__:
-            if name == "metrics":
+            if name in _SIDE_CHANNEL_FIELDS:
                 continue
             a = getattr(self, name)
             b = getattr(other, name)
@@ -143,17 +190,19 @@ class SimResult:
             tuple(
                 getattr(self, name)
                 for name in self.__dataclass_fields__
-                if name != "metrics"
+                if name not in _SIDE_CHANNEL_FIELDS
             )
         )
 
     def core_dict(self) -> dict:
-        """The measurement fields only (no ``metrics``), for hashing,
+        """The measurement fields only (no side channels), for hashing,
         golden snapshots and cache serialization."""
         from dataclasses import asdict
 
         payload = asdict(self)
         payload.pop("metrics", None)
+        payload.pop("latency_hist", None)
+        payload.pop("flow_stats", None)
         return payload
 
     @classmethod
@@ -191,6 +240,11 @@ class SimResult:
             traffic=traffic,
             topology=topology,
             unroutable_packets=unroutable_packets,
+            latency_hist=(
+                tuple(sorted(Counter(stats.latencies).items()))
+                if stats.latencies
+                else None
+            ),
         )
 
     def row(self) -> str:

@@ -1,0 +1,76 @@
+"""Flow-completion-time statistics.
+
+FCT definitions used throughout (``docs/WORKLOADS.md``):
+
+* a flow **starts** at its scheduled release cycle (all of its packets
+  enter the source injection queue then);
+* it **completes** when its last packet's tail is delivered (the
+  engine's delivery timestamp, ``packet.created + latency`` as
+  reported by ``on_eject``);
+* ``FCT = completion - start`` in cycles;
+* the **ideal** FCT of a ``size``-packet flow is its source
+  serialization bound ``size * packet_phits`` (the NIC moves one phit
+  per cycle), and **slowdown** is ``FCT / ideal`` -- the normalized
+  FCT metric of the datacenter transport literature.
+
+Percentiles use the same nearest-rank convention as
+:meth:`repro.simulation.stats.SimStats.latency_percentile`
+(``sorted[int(f * (n - 1))]``), so packet-latency and FCT tails are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fct_percentile", "fct_summary", "ideal_fct"]
+
+
+def fct_percentile(values, fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (NaN when empty)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return float(ordered[index])
+
+
+def ideal_fct(size: int, packet_phits: int) -> int:
+    """Source-serialization lower bound for a ``size``-packet flow."""
+    return size * packet_phits
+
+
+def fct_summary(completions, packet_phits: int, flows_total: int,
+                flows_dropped: int = 0) -> dict:
+    """Summarize completed flows into the ``SimResult.flow_stats`` dict.
+
+    ``completions`` is an iterable of ``(fct, size)`` pairs for flows
+    that finished inside the horizon.  The returned dict is plain
+    (JSON-serializable, sorted rendering left to callers) and rides on
+    :class:`~repro.simulation.stats.SimResult` as a side channel --
+    excluded from equality and stripped from cache entries exactly
+    like ``metrics``.
+    """
+    pairs = list(completions)
+    fcts = [fct for fct, _ in pairs]
+    slowdowns = [
+        fct / ideal_fct(size, packet_phits) for fct, size in pairs
+    ]
+    completed = len(pairs)
+    summary = {
+        "flows_total": flows_total,
+        "flows_completed": completed,
+        "flows_dropped": flows_dropped,
+        "packets": sum(size for _, size in pairs),
+        "fct_mean": (sum(fcts) / completed) if completed else float("nan"),
+        "fct_p50": fct_percentile(fcts, 0.50),
+        "fct_p99": fct_percentile(fcts, 0.99),
+        "fct_p999": fct_percentile(fcts, 0.999),
+        "fct_max": float(max(fcts)) if fcts else float("nan"),
+        "slowdown_mean": (
+            sum(slowdowns) / completed if completed else float("nan")
+        ),
+        "slowdown_p50": fct_percentile(slowdowns, 0.50),
+        "slowdown_p99": fct_percentile(slowdowns, 0.99),
+    }
+    return summary

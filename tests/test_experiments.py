@@ -40,7 +40,7 @@ class TestRegistry:
     def test_all_ids_present(self):
         expected = {
             "thm42", "fig5", "fig6", "fig7", "tab3", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "sec42", "sec5", "thm91",
+            "fig10", "fig11", "fig12", "sec42", "sec5", "thm91", "fct",
         }
         assert set(EXPERIMENTS) == expected
 
