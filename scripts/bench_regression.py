@@ -386,11 +386,117 @@ def bench_graphs(repeats: int, quick: bool) -> dict:
         "speedup": round(times["reference"] / times["accel"], 2),
     }
 
+    sections["extreme_scale"] = _bench_extreme_scale(repeats, quick)
+
     return {
         "benchmark": "graphs",
         "quick": quick,
         "repeats": repeats,
         "sections": sections,
+    }
+
+
+def _bench_extreme_scale(repeats: int, quick: bool) -> dict:
+    """Array-native RFC path at 10^5 (quick) / 10^6 (full) terminals.
+
+    Three measurements:
+
+    * **generation speedup** -- packed CSR generator vs the
+      pure-Python Steger--Wormald reference, both building the
+      CI-quick acceptance size (131072 terminals).  The engines sample
+      the same pairing model but are not stream-compatible, so only
+      structure is asserted here (distribution equivalence lives in
+      ``tests/test_packed_topology.py``);
+    * **scale run** -- packed generation plus the full strong-expansion
+      analysis (ancestor sweep, coverage, up/down check) at the mode's
+      target size, with the process peak RSS after the run;
+    * **differential signatures** -- diameter, coverage fraction and
+      fault threshold computed through the packed path must be
+      bit-identical to the reference path on the same topology.
+    """
+    from repro.core.ancestors import (
+        sweeper_of,
+        updown_reachable_fraction_of,
+    )
+    from repro.core.rfc import radix_regular_rfc
+    from repro.faults.removal import shuffled_links
+    from repro.faults.updown_survival import order_threshold
+    from repro.graphs.metrics import diameter
+    from repro.topologies.packed import (
+        PackedFoldedClos,
+        packed_radix_regular_rfc,
+    )
+
+    speedup_cfg = (64, 4096, 3)     # 131072 terminals: acceptance size
+    scale_cfg = speedup_cfg if quick else (64, 32768, 3)  # ~1.05M full
+    diff_cfg = (16, 512, 3)         # both paths affordable -> compare
+
+    # Generation speedup at the acceptance size.  Structural checks
+    # (degrees, simplicity) run inside the builders; num_links is the
+    # repeat-determinism signature.
+    ref_seconds, _ = _best_of(
+        lambda: radix_regular_rfc(*speedup_cfg, rng=11).num_links,
+        min(repeats, 2),
+    )
+    packed_seconds, _ = _best_of(
+        lambda: packed_radix_regular_rfc(*speedup_cfg, rng=11).num_links,
+        repeats,
+    )
+
+    # Scale run: one timed pass (the full config runs minutes of
+    # sweep; best-of-N would triple that for no signal).
+    start = time.perf_counter()
+    topo = packed_radix_regular_rfc(*scale_cfg, rng=11)
+    generation_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    sweeper = sweeper_of(topo)
+    fraction = round(sweeper.reachable_fraction(), 12)
+    updown_ok = sweeper.has_updown()
+    analysis_seconds = time.perf_counter() - start
+    peak_rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+    # Differential signatures: same topology through both paths.
+    ref = radix_regular_rfc(*diff_cfg, rng=11)
+    packed = PackedFoldedClos.from_folded(ref)
+    order = shuffled_links(ref, rng=7)
+    ref_sig = (
+        diameter(ref.adjacency(), accel=False),
+        round(updown_reachable_fraction_of(ref, accel=False), 12),
+        order_threshold(ref, order, accel=False),
+    )
+    packed_sig = (
+        diameter(packed.adjacency(), accel=True),
+        round(updown_reachable_fraction_of(packed), 12),
+        order_threshold(packed, order, accel=True),
+    )
+    if ref_sig != packed_sig:
+        raise AssertionError(
+            f"packed path drifted: {packed_sig} != {ref_sig}"
+        )
+
+    return {
+        "config": {
+            "radix": scale_cfg[0], "n1": scale_cfg[1],
+            "levels": scale_cfg[2], "terminals": topo.num_terminals,
+            "switches": topo.num_switches, "links": topo.num_links,
+        },
+        "generation_seconds": round(generation_seconds, 4),
+        "analysis_seconds": round(analysis_seconds, 4),
+        "peak_rss_mib": round(peak_rss_mib, 1),
+        "signature": {
+            "coverage_fraction": fraction,
+            "updown_ok": updown_ok,
+            "diff_diameter": ref_sig[0],
+            "diff_coverage_fraction": ref_sig[1],
+            "diff_fault_threshold": ref_sig[2],
+        },
+        "speedup_config": {
+            "radix": speedup_cfg[0], "n1": speedup_cfg[1],
+            "levels": speedup_cfg[2],
+        },
+        "reference_seconds": round(ref_seconds, 4),
+        "accel_seconds": round(packed_seconds, 4),
+        "speedup": round(ref_seconds / packed_seconds, 2),
     }
 
 
@@ -412,6 +518,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs (CI smoke)")
     parser.add_argument(
+        "--graphs-only", action="store_true",
+        help="skip the engine benchmark; run only the graphs family "
+             "(the scale-smoke CI job uses this)",
+    )
+    parser.add_argument(
+        "--min-generation-speedup", type=float, default=0.0,
+        help="fail unless the packed generator beats the pure-Python "
+             "reference by at least this ratio (0 disables the gate)",
+    )
+    parser.add_argument(
+        "--max-scale-rss-mib", type=float, default=0.0,
+        help="fail if the extreme-scale run's peak RSS exceeds this "
+             "many MiB (0 disables the gate)",
+    )
+    parser.add_argument(
+        "--max-scale-seconds", type=float, default=0.0,
+        help="fail if extreme-scale generation + analysis together "
+             "exceed this many seconds (0 disables the gate)",
+    )
+    parser.add_argument(
         "--min-vectorized-speedup", type=float, default=0.0,
         help="fail unless the vectorized engine beats the reference "
              "by at least this ratio (0 disables the gate)",
@@ -422,6 +548,9 @@ def main(argv: list[str] | None = None) -> int:
              "reference by at least this ratio (0 disables the gate)",
     )
     args = parser.parse_args(argv)
+
+    if args.graphs_only:
+        return _run_graphs(args)
 
     payload = bench(repeats=max(1, args.repeats), quick=args.quick)
     out = Path(args.out)
@@ -467,6 +596,10 @@ def main(argv: list[str] | None = None) -> int:
           f"peak RSS {payload['peak_rss_kb']:,} kB")
     print(f"wrote {out}")
 
+    return _run_graphs(args)
+
+
+def _run_graphs(args) -> int:
     graphs = bench_graphs(repeats=max(1, args.repeats), quick=args.quick)
     graphs_out = Path(args.graphs_out)
     graphs_out.write_text(
@@ -476,6 +609,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name}: accel {section['accel_seconds']}s vs reference "
               f"{section['reference_seconds']}s "
               f"({section['speedup']}x, identical signatures)")
+    scale = graphs["sections"]["extreme_scale"]
+    print(f"extreme_scale: {scale['config']['terminals']:,} terminals "
+          f"generated in {scale['generation_seconds']}s, analyzed in "
+          f"{scale['analysis_seconds']}s, peak RSS "
+          f"{scale['peak_rss_mib']:,.0f} MiB")
+    if args.min_generation_speedup > 0:
+        if scale["speedup"] < args.min_generation_speedup:
+            raise AssertionError(
+                f"packed generation speedup {scale['speedup']}x below "
+                f"the required floor {args.min_generation_speedup}x"
+            )
+    if args.max_scale_rss_mib > 0:
+        if scale["peak_rss_mib"] > args.max_scale_rss_mib:
+            raise AssertionError(
+                f"extreme-scale peak RSS {scale['peak_rss_mib']} MiB "
+                f"over the {args.max_scale_rss_mib} MiB ceiling"
+            )
+    if args.max_scale_seconds > 0:
+        total = scale["generation_seconds"] + scale["analysis_seconds"]
+        if total > args.max_scale_seconds:
+            raise AssertionError(
+                f"extreme-scale run took {total}s, over the "
+                f"{args.max_scale_seconds}s ceiling"
+            )
     print(f"wrote {graphs_out}")
     return 0
 

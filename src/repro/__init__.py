@@ -54,7 +54,7 @@ from .topologies import (
     xgft,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

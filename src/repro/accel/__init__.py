@@ -43,6 +43,10 @@ __all__ = [
     "iter_distance_batches",
     "DEFAULT_BATCH",
     "StageSweeper",
+    "IncrementalSweeper",
+    "random_bipartite_csr",
+    "random_regular_csr",
+    "csr_rows_sorted",
     "words_for",
     "pack_singletons",
     "full_row",
@@ -101,8 +105,13 @@ if AVAILABLE:
         uniform01,
         uniform01_array,
     )
+    from .generate import (
+        csr_rows_sorted,
+        random_bipartite_csr,
+        random_regular_csr,
+    )
     from .sim import build_padded_candidates, run_vectorized
-    from .sweeps import StageSweeper
+    from .sweeps import IncrementalSweeper, StageSweeper
 
 
 def is_available() -> bool:

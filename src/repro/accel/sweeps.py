@@ -42,7 +42,7 @@ from numpy.typing import NDArray
 
 from .bitset import full_row, popcount, words_for
 
-__all__ = ["StageSweeper"]
+__all__ = ["StageSweeper", "IncrementalSweeper"]
 
 StageAdjacency = Sequence[Sequence[Sequence[int]]]
 
@@ -64,23 +64,57 @@ class _StageEdges:
     """One inter-level stage flattened for both reduction directions."""
 
     __slots__ = (
-        "n_lo", "n_hi", "src", "dst", "down_src",
+        "n_lo", "n_hi", "src", "dst", "down_src", "down_offsets",
         "up_starts", "up_rows", "down_perm", "down_starts", "down_rows",
     )
 
     def __init__(self, n_lo: int, n_hi: int, rows: Sequence[Sequence[int]]):
-        self.n_lo = n_lo
-        self.n_hi = n_hi
         counts = np.fromiter(
             (len(row) for row in rows), dtype=np.intp, count=n_lo
         )
         offsets = np.zeros(n_lo + 1, dtype=np.intp)
         np.cumsum(counts, out=offsets[1:])
         edges = int(offsets[-1])
-        self.src = np.repeat(np.arange(n_lo, dtype=np.intp), counts)
-        self.dst = np.fromiter(
+        dst = np.fromiter(
             (t for row in rows for t in row), dtype=np.intp, count=edges
         )
+        self._index(n_lo, n_hi, counts, offsets, dst)
+
+    @classmethod
+    def from_csr(
+        cls,
+        n_lo: int,
+        n_hi: int,
+        offsets: NDArray[np.int64],
+        indices: NDArray[np.int32],
+    ) -> "_StageEdges":
+        """Array-native constructor: no Python row iteration.
+
+        ``offsets``/``indices`` are a per-row-sorted CSR as built by
+        :class:`repro.topologies.packed.PackedFoldedClos`; sorted rows
+        make the flat edge order identical to the list-of-rows
+        constructor's, so ``keep`` masks are interchangeable between
+        the two build paths.
+        """
+        self = cls.__new__(cls)
+        off = offsets.astype(np.intp, copy=False)
+        self._index(
+            n_lo, n_hi, np.diff(off), off, indices.astype(np.intp, copy=False)
+        )
+        return self
+
+    def _index(
+        self,
+        n_lo: int,
+        n_hi: int,
+        counts: NDArray[np.intp],
+        offsets: NDArray[np.intp],
+        dst: NDArray[np.intp],
+    ) -> None:
+        self.n_lo = n_lo
+        self.n_hi = n_hi
+        self.src = np.repeat(np.arange(n_lo, dtype=np.intp), counts)
+        self.dst = dst
         # Group by lower endpoint: edges are already in row order.
         self.up_rows = np.nonzero(counts)[0]
         self.up_starts = offsets[self.up_rows]
@@ -89,10 +123,10 @@ class _StageEdges:
         self.down_perm = np.argsort(self.dst, kind="stable")
         self.down_src = self.src[self.down_perm]
         dst_counts = np.bincount(self.dst, minlength=n_hi).astype(np.intp)
-        down_offsets = np.zeros(n_hi + 1, dtype=np.intp)
-        np.cumsum(dst_counts, out=down_offsets[1:])
+        self.down_offsets = np.zeros(n_hi + 1, dtype=np.intp)
+        np.cumsum(dst_counts, out=self.down_offsets[1:])
         self.down_rows = np.nonzero(dst_counts)[0]
-        self.down_starts = down_offsets[self.down_rows]
+        self.down_starts = self.down_offsets[self.down_rows]
 
     def _reduce(
         self,
@@ -140,6 +174,39 @@ class _StageEdges:
             self.up_starts, self.up_rows, self.n_lo,
         )
 
+    def or_up_rows(
+        self,
+        lower_t: NDArray[np.uint64],
+        out_t: NDArray[np.uint64],
+        rows: NDArray[np.intp],
+    ) -> None:
+        """Recompute only ``rows`` of the up-reduction, in place.
+
+        ``out_t`` is a transposed ``(W, n_hi + 1)`` mask array whose
+        other columns are assumed current; the selected rows are fully
+        re-reduced from ``lower_t`` (rows with no down-neighbors become
+        zero).  This is the incremental-sweep workhorse: cost scales
+        with the edges *of the dirty rows*, not the stage.
+        """
+        if rows.size == 0:
+            return
+        out_t[:, rows] = 0
+        starts = self.down_offsets[rows]
+        lens = self.down_offsets[rows + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return
+        # Concatenated [start, start + len) ranges for every dirty row.
+        ends = np.cumsum(lens)
+        pos = np.arange(total, dtype=np.intp)
+        pos += np.repeat(starts - (ends - lens), lens)
+        gathered = np.take(lower_t, self.down_src[pos], axis=1)
+        nonempty = lens > 0
+        reduced = np.bitwise_or.reduceat(
+            gathered, (ends - lens)[nonempty], axis=1
+        )
+        out_t[:, rows[nonempty]] = reduced
+
 
 class StageSweeper:
     """Reusable packed-sweep engine for one ``(level_sizes, up_stages)``.
@@ -162,6 +229,36 @@ class StageSweeper:
             _StageEdges(self.level_sizes[i], self.level_sizes[i + 1], rows)
             for i, rows in enumerate(up_stages)
         ]
+
+    @classmethod
+    def from_arrays(
+        cls,
+        level_sizes: Sequence[int],
+        stage_arrays: Sequence[
+            tuple[NDArray[np.int64], NDArray[np.int32]]
+        ],
+    ) -> "StageSweeper":
+        """Build from per-stage sorted-row CSR ``(offsets, indices)`` pairs.
+
+        The array-native twin of ``__init__`` for
+        :class:`repro.topologies.packed.PackedFoldedClos` stage arrays
+        (see :meth:`~repro.topologies.packed.PackedFoldedClos.up_stage_arrays`):
+        no Python row lists are materialized, and the flat edge order
+        matches the list constructor's exactly, so sweeps and ``keep``
+        masks agree bit for bit across both build paths.
+        """
+        if len(stage_arrays) != len(level_sizes) - 1:
+            raise ValueError("stage_arrays must have one entry per stage")
+        self = cls.__new__(cls)
+        self.level_sizes = [int(n) for n in level_sizes]
+        self.n1 = self.level_sizes[0]
+        self.stages = [
+            _StageEdges.from_csr(
+                self.level_sizes[i], self.level_sizes[i + 1], off, idx
+            )
+            for i, (off, idx) in enumerate(stage_arrays)
+        ]
+        return self
 
     # ------------------------------------------------------------------
     # Core sweeps (internal: transposed layout with null column)
@@ -275,3 +372,154 @@ class StageSweeper:
         edges.
         """
         return [(stage.src, stage.dst) for stage in self.stages]
+
+
+class IncrementalSweeper:
+    """Descendant sweeps that survive topology growth.
+
+    Strong-expansion analysis (paper Section 4.4 / Figure 7) evaluates
+    the *same* RFC at a ladder of sizes: each step adds a few switches
+    per level and rewires O(R) links, leaving the vast majority of
+    stage edges -- and therefore of descendant-leaf masks -- untouched.
+    This sweeper keeps the transposed descendant masks of the previous
+    size and, on :meth:`update`, recomputes only the **dirty** rows:
+
+    * upper endpoints of stage edges added or removed since the last
+      size (diffed as sorted int64 ``src * n_hi + dst`` keys);
+    * up-neighbors of rows already dirty one level below (a changed
+      descendant set propagates along every surviving up-link);
+    * switches that did not exist at the previous size.
+
+    Dirtiness only ever propagates *upward*; the downward coverage
+    sweep is re-run in full from the cached root masks (a single dirty
+    root would dirty nearly every leaf, so there is nothing to save in
+    that direction -- and the upward half is where the stage-edge
+    indexing cost lives).  Levels may only grow: sizes must be
+    monotonically non-decreasing with an unchanged level count.
+
+    Equality with a from-scratch :class:`StageSweeper` at every step is
+    asserted by ``tests/test_incremental_ancestors.py``.
+    """
+
+    def __init__(
+        self,
+        level_sizes: Sequence[int],
+        stage_arrays: Sequence[
+            tuple[NDArray[np.int64], NDArray[np.int32]]
+        ],
+    ) -> None:
+        self._sweeper = StageSweeper.from_arrays(level_sizes, stage_arrays)
+        self._descend_t = self._sweeper._descend_t(None)
+        self._cover_cache: NDArray[np.uint64] | None = None
+        self.last_update_stats: dict[str, int] = {
+            "dirty_rows": sum(self.level_sizes[1:]),
+            "total_rows": sum(self.level_sizes[1:]),
+        }
+
+    @property
+    def level_sizes(self) -> list[int]:
+        return self._sweeper.level_sizes
+
+    @property
+    def n1(self) -> int:
+        return self._sweeper.n1
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        level_sizes: Sequence[int],
+        stage_arrays: Sequence[
+            tuple[NDArray[np.int64], NDArray[np.int32]]
+        ],
+    ) -> dict[str, int]:
+        """Adopt a grown topology, recomputing only dirty mask rows.
+
+        Returns (and stores as :attr:`last_update_stats`) the dirty /
+        total row counts above level 0 -- the incremental saving is
+        ``1 - dirty / total`` of the upward sweep.
+        """
+        old_sizes = self.level_sizes
+        new_sizes = [int(n) for n in level_sizes]
+        if len(new_sizes) != len(old_sizes):
+            raise ValueError(
+                f"level count changed ({len(old_sizes)} -> {len(new_sizes)}); "
+                "incremental update needs a fixed level structure"
+            )
+        if any(n < o for n, o in zip(new_sizes, old_sizes)):
+            raise ValueError("levels may only grow under incremental update")
+        new_sweeper = StageSweeper.from_arrays(new_sizes, stage_arrays)
+        masks = [_singletons_t(new_sizes[0])]
+        dirty = np.arange(old_sizes[0], new_sizes[0], dtype=np.intp)
+        dirty_rows = 0
+        for i, stage in enumerate(new_sweeper.stages):
+            old_stage = self._sweeper.stages[i]
+            n_hi_new = np.int64(new_sizes[i + 1])
+            new_keys = stage.src * n_hi_new + stage.dst
+            old_keys = old_stage.src * n_hi_new + old_stage.dst
+            changed = np.concatenate(
+                [
+                    np.setdiff1d(new_keys, old_keys, assume_unique=True),
+                    np.setdiff1d(old_keys, new_keys, assume_unique=True),
+                ]
+            )
+            parts = [
+                (changed % n_hi_new).astype(np.intp),
+                np.arange(old_sizes[i + 1], new_sizes[i + 1], dtype=np.intp),
+            ]
+            if dirty.size:
+                below = np.zeros(new_sizes[i], dtype=bool)
+                below[dirty] = True
+                parts.append(stage.dst[below[stage.src]])
+            dirty = np.unique(np.concatenate(parts))
+            upper = np.zeros(
+                (words_for(new_sizes[0]), new_sizes[i + 1] + 1),
+                dtype=np.uint64,
+            )
+            old_upper = self._descend_t[i + 1]
+            upper[: old_upper.shape[0], : old_sizes[i + 1]] = old_upper[:, :-1]
+            stage.or_up_rows(masks[i], upper, dirty)
+            masks.append(upper)
+            dirty_rows += int(dirty.size)
+        self._sweeper = new_sweeper
+        self._descend_t = masks
+        self._cover_cache = None
+        self.last_update_stats = {
+            "dirty_rows": dirty_rows,
+            "total_rows": sum(new_sizes[1:]),
+        }
+        return self.last_update_stats
+
+    # ------------------------------------------------------------------
+    # Queries (natural layout, matching StageSweeper semantics)
+    # ------------------------------------------------------------------
+    def _cover_t(self) -> NDArray[np.uint64]:
+        if self._cover_cache is None:
+            cover = self._descend_t[-1]
+            for stage in reversed(self._sweeper.stages):
+                cover = stage.or_down(cover, None)
+            self._cover_cache = cover | _singletons_t(self.n1)
+        return self._cover_cache
+
+    def descendant_masks(self) -> list[NDArray[np.uint64]]:
+        """Per-level ``(N_level, W)`` packed descendant-leaf sets."""
+        return [_natural(m) for m in self._descend_t]
+
+    def coverage_masks(self) -> NDArray[np.uint64]:
+        """Per-leaf packed up*/down* coverage (own bit included)."""
+        return _natural(self._cover_t())
+
+    def has_updown(self) -> bool:
+        """Whether every leaf pair has a common ancestor."""
+        if self.n1 == 0:
+            return True
+        cover = self._cover_t()
+        return bool(np.all(cover[:, :-1] == full_row(self.n1)[:, None]))
+
+    def reachable_fraction(self) -> float:
+        """Fraction of ordered leaf pairs joined by an up*/down* path."""
+        if self.n1 < 2:
+            return 1.0
+        covered = int(popcount(self._cover_t()).sum()) - self.n1
+        return covered / (self.n1 * (self.n1 - 1))

@@ -51,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="RRN switch count")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--check-updown", action="store_true")
+    gen.add_argument("--packed", action="store_true",
+                     help="RFC only: build the array-native "
+                          "PackedFoldedClos via the batched "
+                          "Steger-Wormald generator and report "
+                          "generation time, peak memory and a "
+                          "strong-expansion summary")
+    gen.add_argument("--terminals", type=int, default=0, metavar="N",
+                     help="with --packed: target terminal count; leaf "
+                          "count is derived as the smallest even N1 "
+                          "with N1 * R/2 >= N (overrides --leaves)")
 
     ana = sub.add_parser("analyze", help="structural analysis of an RFC")
     ana.add_argument("--radix", type=int, default=12)
@@ -205,6 +215,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from .topologies.oft import oft_order_for_radix, orthogonal_fat_tree
     from .topologies.rrn import random_regular_network, rrn_degree_for
 
+    if args.topology == "rfc" and args.packed:
+        return _cmd_generate_packed(args)
+    if args.packed:
+        print("--packed is only supported for 'rfc'", file=sys.stderr)
+        return 2
     if args.topology == "rfc":
         leaves = args.leaves or rfc_max_leaves(args.radix, args.levels)
         topo = radix_regular_rfc(args.radix, leaves, args.levels, rng=args.seed)
@@ -231,6 +246,58 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         from .core.ancestors import has_updown_routing_of as check
 
         print(f"up/down routable: {check(topo)}")
+    return 0
+
+
+def _cmd_generate_packed(args: argparse.Namespace) -> int:
+    """``generate rfc --packed``: the extreme-scale array-native path.
+
+    Reproduces the ``extreme_scale`` bench section interactively:
+    generation wall time, ancestor-analysis wall time, peak RSS and a
+    strong-expansion summary for an RFC sized by ``--terminals`` (or
+    ``--leaves`` / the Theorem 4.2 maximum).
+    """
+    import resource
+    import time
+
+    from .core.ancestors import sweeper_of
+    from .core.expansion import strong_expansion_limit
+    from .core.theory import rfc_max_leaves, threshold_radix, x_for_radix
+    from .topologies.packed import packed_radix_regular_rfc
+
+    half = args.radix // 2
+    if args.terminals:
+        leaves = -(-args.terminals // half)
+        leaves += leaves % 2
+    else:
+        leaves = args.leaves or rfc_max_leaves(args.radix, args.levels)
+
+    start = time.perf_counter()
+    topo = packed_radix_regular_rfc(
+        args.radix, leaves, args.levels, rng=args.seed
+    )
+    generation_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sweeper = sweeper_of(topo)
+    fraction = sweeper.reachable_fraction()
+    analysis_s = time.perf_counter() - start
+    # ru_maxrss is KiB on Linux.
+    peak_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+    max_leaves = strong_expansion_limit(args.radix, args.levels)
+    print(f"{topo.name}: T={topo.num_terminals:,} levels={topo.level_sizes} "
+          f"links={topo.num_links:,} ports={topo.num_ports:,} "
+          f"radix-regular={topo.is_radix_regular()}")
+    print(f"  generation:           {generation_s:.3f} s "
+          f"(batched Steger-Wormald, packed CSR)")
+    print(f"  ancestor analysis:    {analysis_s:.3f} s "
+          f"(reachable fraction {fraction:.6f}, "
+          f"up/down routable: {fraction >= 1.0})")
+    print(f"  peak RSS:             {peak_mib:.0f} MiB")
+    print(f"  strong expansion:     N1={leaves:,} of {max_leaves:,} max "
+          f"(threshold radix {threshold_radix(leaves, args.levels):.2f}, "
+          f"offset x={x_for_radix(args.radix, leaves, args.levels):+.3f})")
     return 0
 
 

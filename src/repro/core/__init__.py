@@ -4,14 +4,19 @@ from .ancestors import (
     common_ancestors_of,
     has_updown_routing,
     has_updown_routing_of,
+    sweeper_of,
     updown_coverage,
+    updown_coverage_of,
     updown_reachable_fraction,
+    updown_reachable_fraction_of,
 )
 from .expansion import (
     ExpansionError,
+    ExpansionStep,
     RewiringReport,
     expand_rfc,
     expand_rrn,
+    expansion_trajectory,
     strong_expansion_limit,
     weak_expand_rfc,
 )
@@ -38,7 +43,10 @@ __all__ = [
     "has_updown_routing",
     "has_updown_routing_of",
     "updown_coverage",
+    "updown_coverage_of",
     "updown_reachable_fraction",
+    "updown_reachable_fraction_of",
+    "sweeper_of",
     "common_ancestors_of",
     "threshold_radix",
     "threshold_radix_simplified",
@@ -48,6 +56,8 @@ __all__ = [
     "rfc_max_terminals",
     "expand_rfc",
     "expand_rrn",
+    "expansion_trajectory",
+    "ExpansionStep",
     "weak_expand_rfc",
     "strong_expansion_limit",
     "RewiringReport",

@@ -46,8 +46,11 @@ __all__ = [
     "updown_reachable_fraction",
     "root_ancestor_sets",
     "has_updown_routing_of",
+    "updown_coverage_of",
+    "updown_reachable_fraction_of",
     "common_ancestors_of",
     "stages_of",
+    "sweeper_of",
 ]
 
 StageAdjacency = Sequence[Sequence[Sequence[int]]]
@@ -199,8 +202,45 @@ def root_ancestor_sets(
 # Topology-object conveniences
 # ----------------------------------------------------------------------
 
+def sweeper_of(topo: FoldedClos) -> "_accel.StageSweeper":
+    """A :class:`repro.accel.StageSweeper` over a topology's stages.
+
+    Packed topologies (anything exposing ``up_stage_arrays()``, i.e.
+    :class:`repro.topologies.packed.PackedFoldedClos`) hand their CSR
+    stage arrays to the sweeper directly -- no Python row lists are
+    built, which is what keeps ancestor analysis array-native at
+    10^5--10^6 terminals.  List topologies flatten through
+    :func:`stages_of` as before; both constructions yield bit-identical
+    sweeps (same flat edge order).
+    """
+    arrays = getattr(topo, "up_stage_arrays", None)
+    if arrays is not None:
+        return _accel.StageSweeper.from_arrays(topo.level_sizes, arrays())
+    return _accel.StageSweeper(topo.level_sizes, stages_of(topo))
+
+
 def has_updown_routing_of(topo: FoldedClos, accel: bool = True) -> bool:
+    if _use_accel(accel, topo.level_sizes[0]):
+        return sweeper_of(topo).has_updown()
     return has_updown_routing(topo.level_sizes, stages_of(topo), accel=accel)
+
+
+def updown_coverage_of(topo: FoldedClos, accel: bool = True) -> list[int]:
+    """Per-leaf coverage bitmasks of a topology (packed-aware)."""
+    if _use_accel(accel, topo.level_sizes[0]):
+        return _accel.masks_to_ints(sweeper_of(topo).coverage_masks())
+    return updown_coverage(topo.level_sizes, stages_of(topo), accel=accel)
+
+
+def updown_reachable_fraction_of(topo: FoldedClos, accel: bool = True) -> float:
+    """Reachable ordered-pair fraction of a topology (packed-aware)."""
+    if topo.level_sizes[0] < 2:
+        return 1.0
+    if _use_accel(accel, topo.level_sizes[0]):
+        return sweeper_of(topo).reachable_fraction()
+    return updown_reachable_fraction(
+        topo.level_sizes, stages_of(topo), accel=accel
+    )
 
 
 def common_ancestors_of(

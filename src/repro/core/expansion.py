@@ -23,8 +23,10 @@ from .theory import rfc_max_leaves
 __all__ = [
     "RewiringReport",
     "ExpansionError",
+    "ExpansionStep",
     "expand_rfc",
     "expand_rrn",
+    "expansion_trajectory",
     "weak_expand_rfc",
     "strong_expansion_limit",
 ]
@@ -218,6 +220,90 @@ def expand_rfc(
         name=f"{topo.name}+{steps}step",
     )
     return expanded, report
+
+
+@dataclass(frozen=True)
+class ExpansionStep:
+    """Up/down health of one strong-expansion step (see trajectory)."""
+
+    level_sizes: tuple[int, ...]
+    num_terminals: int
+    reachable_fraction: float
+    updown_ok: bool
+    #: Ancestor-mask rows recomputed by the incremental sweep at this
+    #: step (equal to ``total_rows`` on the reference path).
+    dirty_rows: int
+    #: All mask rows above level 0 -- what a from-scratch sweep costs.
+    total_rows: int
+
+
+def expansion_trajectory(
+    topo: FoldedClos,
+    steps: int = 1,
+    rng: random.Random | int | None = None,
+    accel: bool = True,
+) -> tuple[FoldedClos, RewiringReport, list[ExpansionStep]]:
+    """Strong-expand step by step, analyzing coverage incrementally.
+
+    Runs :func:`expand_rfc` one minimal upgrade at a time and measures
+    up/down coverage after every step.  With ``accel=True`` the
+    analysis reuses the previous size's packed descendant masks through
+    :class:`repro.accel.IncrementalSweeper`: an expansion step rewires
+    O(R) links per stage while the topology holds O(N_1 * R), so only
+    the mask rows reachable from the spliced edges are recomputed
+    (``ExpansionStep.dirty_rows`` vs ``total_rows`` records the
+    saving).  Results are bit-identical to from-scratch sweeps -- the
+    incremental engine is differentially tested in
+    ``tests/test_incremental_ancestors.py``.
+    """
+    from .. import accel as _accel
+    from ..topologies.packed import stage_arrays_of
+
+    if steps < 1:
+        raise ExpansionError("steps must be >= 1")
+    rand = _as_rng(rng)
+    report = RewiringReport()
+    current = topo
+    use_accel = (
+        accel and topo.level_sizes[0] > 0 and _accel.is_available()
+    )
+    sweeper = (
+        _accel.IncrementalSweeper(topo.level_sizes, stage_arrays_of(topo))
+        if use_accel
+        else None
+    )
+    records: list[ExpansionStep] = []
+    for _ in range(steps):
+        current, step_report = expand_rfc(current, 1, rng=rand)
+        report.merge(step_report)
+        if sweeper is not None:
+            stats = sweeper.update(
+                current.level_sizes, stage_arrays_of(current)
+            )
+            fraction = sweeper.reachable_fraction()
+            ok = sweeper.has_updown()
+        else:
+            from .ancestors import (
+                updown_reachable_fraction_of,
+            )
+
+            fraction = updown_reachable_fraction_of(current, accel=False)
+            ok = fraction >= 1.0
+            stats = {
+                "dirty_rows": sum(current.level_sizes[1:]),
+                "total_rows": sum(current.level_sizes[1:]),
+            }
+        records.append(
+            ExpansionStep(
+                level_sizes=tuple(current.level_sizes),
+                num_terminals=current.num_terminals,
+                reachable_fraction=fraction,
+                updown_ok=ok,
+                dirty_rows=stats["dirty_rows"],
+                total_rows=stats["total_rows"],
+            )
+        )
+    return current, report, records
 
 
 def weak_expand_rfc(

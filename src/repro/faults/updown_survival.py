@@ -23,7 +23,7 @@ import statistics
 from dataclasses import dataclass
 
 from .. import accel as _accel
-from ..core.ancestors import has_updown_routing, stages_of
+from ..core.ancestors import has_updown_routing, sweeper_of
 from ..topologies.base import FoldedClos, Link
 from .removal import failure_threshold, shuffled_links
 
@@ -125,7 +125,10 @@ def order_threshold(
     sizes = topo.level_sizes
 
     if accel and sizes[0] > 0 and _accel.is_available():
-        sweeper = _accel.StageSweeper(sizes, stages_of(topo))
+        # sweeper_of consumes packed CSR stage arrays directly when the
+        # topology carries them; flat edge order (and therefore every
+        # keep mask and threshold) is identical either way.
+        sweeper = sweeper_of(topo)
         positions = _stage_failure_positions(topo, sweeper, order)
 
         def still_ok(k: int) -> bool:

@@ -13,6 +13,7 @@ from .rpr003_set_iteration import SetIterationChecker
 from .rpr004_wallclock import WallClockChecker
 from .rpr005_pool_closures import PoolClosureChecker
 from .rpr006_mutable_defaults import MutableDefaultChecker
+from .rpr007_scalar_loops import ScalarLoopChecker
 from .rpr101_engine_parity import EngineParityChecker
 from .rpr102_dtype_width import DtypeWidthChecker
 from .rpr103_cachekey_taint import CacheKeyTaintChecker
@@ -26,6 +27,7 @@ __all__ = [
     "WallClockChecker",
     "PoolClosureChecker",
     "MutableDefaultChecker",
+    "ScalarLoopChecker",
     "EngineParityChecker",
     "DtypeWidthChecker",
     "CacheKeyTaintChecker",

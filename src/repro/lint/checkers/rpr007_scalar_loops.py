@@ -1,0 +1,108 @@
+"""RPR007: scalar Python-loop accumulation over terminal-scale ranges.
+
+The extreme-scale path (``repro.accel``, ``repro.topologies``) exists
+because per-element Python work does not survive contact with 10^5 to
+10^6 terminals: a ``for i in range(num_terminals)`` loop that
+accumulates into a plain ``int`` runs the interpreter once per
+terminal -- two to three orders of magnitude slower than the
+``np.sum`` / ``np.bincount`` / ``reduceat`` reduction it shadows, and
+exactly the kind of hot-path regression that creeps in through an
+innocent-looking helper.
+
+The rule is deliberately narrow so every finding is actionable:
+
+* it only applies to files under an ``accel`` or ``topologies``
+  package (the layers the benchmarks gate);
+* it only fires on a ``for`` statement iterating ``range(...)`` whose
+  bound mentions a terminal-scale quantity (``num_terminals``,
+  ``num_switches``, ``num_links``, ``num_leaves`` -- bare or as an
+  attribute such as ``topo.num_terminals``);
+* the loop body must augment-assign (``+=``, ``|=``, ``*=``) into a
+  bare name -- a scalar accumulator.  Array writes, list builds and
+  plain iteration are left alone.
+
+Fix by reducing vectorized (``np.sum``/``np.bincount``/
+``np.bitwise_or.reduce``); waive deliberate scalar loops (e.g. the
+pure-Python reference oracles) with ``# repro: allow-rpr007``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from ..base import Checker, register
+from ..context import FileContext
+from ..findings import Finding
+
+#: Quantities that scale with the network, not with a constant.
+_SCALE_NAMES = frozenset({
+    "num_terminals", "num_switches", "num_links", "num_leaves",
+})
+
+#: Accumulating augmented-assignment operators.
+_ACCUM_OPS = (ast.Add, ast.Mult, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+
+def _mentions_scale_quantity(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in _SCALE_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _SCALE_NAMES:
+            return True
+    return False
+
+
+@register
+class ScalarLoopChecker(Checker):
+    CODE = "RPR007"
+    SUMMARY = (
+        "scalar int accumulation inside a Python loop over a "
+        "terminal-scale range in an accel/topologies hot path"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parts = PurePath(ctx.path).parts
+        if "accel" not in parts and "topologies" not in parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not self._is_scale_range(ctx, node.iter):
+                continue
+            accumulator = self._scalar_accumulation(node)
+            if accumulator is not None:
+                yield self.finding(
+                    ctx, accumulator,
+                    "scalar accumulation inside a Python loop over a "
+                    "terminal-scale range runs the interpreter once per "
+                    "element at 10^5-10^6 terminals; reduce vectorized "
+                    "(np.sum / np.bincount / np.bitwise_or.reduce) or "
+                    "waive a deliberate reference oracle with "
+                    "'# repro: allow-rpr007'",
+                )
+
+    @staticmethod
+    def _is_scale_range(ctx: FileContext, iterator: ast.expr) -> bool:
+        return (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+            and ctx.is_builtin("range")
+            and any(_mentions_scale_quantity(arg) for arg in iterator.args)
+        )
+
+    @staticmethod
+    def _scalar_accumulation(
+        loop: ast.For | ast.AsyncFor,
+    ) -> ast.AugAssign | None:
+        """First ``name <op>= ...`` statement in the loop body, if any."""
+        for sub in ast.walk(loop):
+            if (
+                isinstance(sub, ast.AugAssign)
+                and isinstance(sub.op, _ACCUM_OPS)
+                and isinstance(sub.target, ast.Name)
+            ):
+                return sub
+        return None

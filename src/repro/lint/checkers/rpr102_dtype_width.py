@@ -36,7 +36,13 @@ from ..findings import Finding
 #: element type of the result.
 _CONSTRUCTORS = frozenset({
     "zeros", "ones", "full", "empty", "arange", "fromiter", "asarray",
-    "array", "frombuffer", "fromstring", "linspace",
+    "array", "frombuffer", "fromstring", "linspace", "ascontiguousarray",
+})
+
+#: numpy functions whose result keeps the dtype of their first
+#: positional argument (the idioms the packed CSR builders lean on).
+_DTYPE_PRESERVING = frozenset({
+    "repeat", "diff", "sort", "unique", "concatenate", "cumsum",
 })
 
 #: dtype spellings -> width class we reason about.
@@ -60,15 +66,18 @@ def _dtype_from_token(token: str) -> str | None:
 
 
 def _iter_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
-    """Walk statements without descending into nested function scopes
-    (each function body is analyzed with its own :class:`_Scope`)."""
-    stack: list[ast.AST] = list(body)
+    """Walk statements in source order without descending into nested
+    function scopes (each function body is analyzed with its own
+    :class:`_Scope`).  Source order matters: dtype facts chain through
+    assignments (``off = asarray(...); starts = repeat(off, ...)``),
+    so a later binding must see the earlier one."""
+    stack: list[ast.AST] = list(reversed(body))
     while stack:
         node = stack.pop()
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         yield node
-        stack.extend(ast.iter_child_nodes(node))
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
 
 
 class _Scope:
@@ -150,6 +159,13 @@ class _Scope:
             for kw in node.keywords:
                 if kw.arg == "dtype":
                     return self._dtype_token(kw.value)
+            return None
+        if parts[-1] in _DTYPE_PRESERVING:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    return self._dtype_token(kw.value)
+            if node.args:
+                return self.dtype_of(node.args[0])
         return None
 
     # -- seeding -------------------------------------------------------

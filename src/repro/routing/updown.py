@@ -49,6 +49,7 @@ class UpDownRouter:
         level_sizes: Sequence[int],
         up_stages: Sequence[Sequence[Sequence[int]]],
         accel: bool = True,
+        stage_arrays=None,
     ) -> None:
         if len(up_stages) != len(level_sizes) - 1:
             raise ValueError("need one up-stage per level boundary")
@@ -65,7 +66,7 @@ class UpDownRouter:
                     down[t].append(s)
             self._down.append([tuple(d) for d in down])
         if accel and self.level_sizes[0] > 0 and _accel.is_available():
-            self._build_tables_accel()
+            self._build_tables_accel(stage_arrays)
         else:
             self._build_tables()
 
@@ -77,21 +78,37 @@ class UpDownRouter:
             [topo.up_neighbors(level, s) for s in range(topo.level_sizes[level])]
             for level in range(topo.num_levels - 1)
         ]
-        return cls(topo.level_sizes, stages, accel=accel)
+        # Packed topologies hand their CSR stage arrays to the sweeper
+        # so the reach-table recurrence never re-flattens Python rows.
+        arrays = getattr(topo, "up_stage_arrays", None)
+        return cls(
+            topo.level_sizes,
+            stages,
+            accel=accel,
+            stage_arrays=arrays() if arrays is not None else None,
+        )
 
     # ------------------------------------------------------------------
     # Table construction
     # ------------------------------------------------------------------
-    def _build_tables_accel(self) -> None:
+    def _build_tables_accel(self, stage_arrays=None) -> None:
         """Packed-bitset twin of :meth:`_build_tables`.
 
         The :class:`repro.accel.StageSweeper` runs the same
         ``U_j = union of U_{j-1} over up-neighbors`` recurrence on
         ``uint64`` word arrays; converting each row back to a Python
         big-int reproduces the reference ``_reach`` tables bit for bit
-        (asserted by ``tests/test_accel_differential.py``).
+        (asserted by ``tests/test_accel_differential.py``).  When the
+        caller already holds CSR ``stage_arrays`` (packed topologies)
+        the sweeper indexes those directly -- identical edge order,
+        identical tables.
         """
-        sweeper = _accel.StageSweeper(self.level_sizes, self._up)
+        if stage_arrays is not None:
+            sweeper = _accel.StageSweeper.from_arrays(
+                self.level_sizes, stage_arrays
+            )
+        else:
+            sweeper = _accel.StageSweeper(self.level_sizes, self._up)
         packed = sweeper.reach_tables()
         self._reach = []
         for level in range(self.num_levels):

@@ -10,6 +10,12 @@ from .fattree import (
 from .galois import GaloisField, field, is_prime_power, nearest_prime_power
 from .io import from_json, load, save, to_dot, to_edge_list, to_json
 from .oft import orthogonal_fat_tree
+from .packed import (
+    PackedFoldedClos,
+    packed_radix_regular_rfc,
+    packed_random_folded_clos,
+    stage_arrays_of,
+)
 from .projective import ProjectivePlane, projective_plane
 from .random_graphs import (
     GenerationError,
@@ -24,6 +30,10 @@ __all__ = [
     "Link",
     "NetworkError",
     "GenerationError",
+    "PackedFoldedClos",
+    "packed_random_folded_clos",
+    "packed_radix_regular_rfc",
+    "stage_arrays_of",
     "commodity_fat_tree",
     "partially_populated_cft",
     "k_ary_l_tree",

@@ -173,6 +173,11 @@ class FoldedClos:
         for n in self.level_sizes:
             self._offsets.append(self._offsets[-1] + n)
 
+        # links()/links_array() memos -- safe because instances are
+        # construction-immutable (no mutating API exists).
+        self._links_cache: tuple[Link, ...] | None = None
+        self._links_array_cache = None
+
     # ------------------------------------------------------------------
     # Identity / sizes
     # ------------------------------------------------------------------
@@ -265,15 +270,64 @@ class FoldedClos:
         The order is: stage 0 (leaf to level 2) links sorted by (lower
         switch index, upper switch index), then stage 1, and so on.
         Fault injection identifies cables by position in this list.
+
+        The enumeration is memoized (the topology is immutable after
+        construction) but each call returns a **fresh list** -- callers
+        such as :func:`repro.faults.removal.shuffled_links` shuffle the
+        result in place.
         """
-        out: list[Link] = []
-        for stage, rows in enumerate(self._up):
-            lo_off = self._offsets[stage]
-            hi_off = self._offsets[stage + 1]
-            for s, row in enumerate(rows):
-                for t in row:
-                    out.append(Link(lo_off + s, hi_off + t))
-        return out
+        if self._links_cache is None:
+            out: list[Link] = []
+            for stage, rows in enumerate(self._up):
+                lo_off = self._offsets[stage]
+                hi_off = self._offsets[stage + 1]
+                for s, row in enumerate(rows):
+                    for t in row:
+                        out.append(Link(lo_off + s, hi_off + t))
+            self._links_cache = tuple(out)
+        return list(self._links_cache)
+
+    def links_array(self):
+        """Links as an int32 ``(L, 2)`` array of flat switch-id pairs.
+
+        Rows follow the exact :meth:`links` order with ``lo`` in column
+        0 -- ``links_array()[i]`` names the same cable as
+        ``links()[i]``.  Built without materializing :class:`Link`
+        objects; the array is memoized and returned as a read-only
+        view.
+        """
+        if self._links_array_cache is None:
+            import numpy as np
+
+            parts = []
+            for stage, rows in enumerate(self._up):
+                lo_off = self._offsets[stage]
+                hi_off = self._offsets[stage + 1]
+                counts = np.fromiter(
+                    (len(row) for row in rows),
+                    dtype=np.int64,
+                    count=len(rows),
+                )
+                stage_links = np.empty((int(counts.sum()), 2), dtype=np.int32)
+                stage_links[:, 0] = np.repeat(
+                    np.arange(lo_off, lo_off + len(rows), dtype=np.int32),
+                    counts,
+                )
+                stage_links[:, 1] = np.fromiter(
+                    (t for row in rows for t in row),
+                    dtype=np.int32,
+                    count=stage_links.shape[0],
+                )
+                stage_links[:, 1] += np.int32(hi_off)
+                parts.append(stage_links)
+            joined = (
+                np.concatenate(parts)
+                if parts
+                else np.empty((0, 2), dtype=np.int32)
+            )
+            joined.setflags(write=False)
+            self._links_array_cache = joined
+        return self._links_array_cache
 
     def adjacency(self) -> list[list[int]]:
         """Flat-id adjacency lists over switches (terminals excluded)."""
@@ -419,6 +473,9 @@ class DirectNetwork:
             for t in row:
                 if s not in self._adj[t]:
                     raise NetworkError(f"asymmetric link {s} -> {t}")
+        # links()/links_array() memos (construction-immutable).
+        self._links_cache: tuple[Link, ...] | None = None
+        self._links_array_cache = None
 
     @property
     def num_switches(self) -> int:
@@ -457,12 +514,32 @@ class DirectNetwork:
         return [list(row) for row in self._adj]
 
     def links(self) -> list[Link]:
-        out: list[Link] = []
-        for s, row in enumerate(self._adj):
-            for t in row:
-                if s < t:
-                    out.append(Link(s, t))
-        return out
+        """Cables ``(s, t)`` with ``s < t``; memoized, fresh list per call."""
+        if self._links_cache is None:
+            out: list[Link] = []
+            for s, row in enumerate(self._adj):
+                for t in row:
+                    if s < t:
+                        out.append(Link(s, t))
+            self._links_cache = tuple(out)
+        return list(self._links_cache)
+
+    def links_array(self):
+        """Links as an int32 ``(L, 2)`` array in :meth:`links` order."""
+        if self._links_array_cache is None:
+            import numpy as np
+
+            pairs = [
+                (s, t) for s, row in enumerate(self._adj) for t in row if s < t
+            ]
+            joined = (
+                np.array(pairs, dtype=np.int32)
+                if pairs
+                else np.empty((0, 2), dtype=np.int32)
+            )
+            joined.setflags(write=False)
+            self._links_array_cache = joined
+        return self._links_array_cache
 
     def terminal_switch(self, terminal: int) -> int:
         if not 0 <= terminal < self.num_terminals:

@@ -1,0 +1,539 @@
+"""Array-native folded Clos representation for extreme-scale RFCs.
+
+:class:`repro.topologies.base.FoldedClos` normalizes every stage into
+Python lists of sorted tuples -- perfect for the paper-faithful
+reference analyses, but at 10^5--10^6 terminals the per-edge Python
+objects dominate both memory and construction time, and every
+accelerated consumer immediately re-flattens the lists into arrays.
+:class:`PackedFoldedClos` stores each inter-level stage **directly** as
+a sorted-row CSR pair -- ``int64`` offsets (row starts overflow int32
+near a million terminals; see lint RPR102) and ``int32`` column
+indices -- plus derived down-CSR and terminal-attachment arrays, so:
+
+* the vectorized Steger--Wormald generator
+  (:mod:`repro.accel.generate`) builds stages without ever
+  materializing ``list[set]`` rows;
+* :class:`repro.accel.StageSweeper` (ancestor sweeps, up/down reach
+  tables, fault keep-masks) indexes the stage arrays via
+  :meth:`StageSweeper.from_arrays` with zero Python row iteration;
+* the flat edge order equals the reference row-major sorted order, so
+  links, keep masks and signatures are interchangeable between the
+  packed and list representations.
+
+The class duck-types the full read API of ``FoldedClos`` (levels, flat
+switch ids, neighbors, links, terminals, validation), so routing,
+faults, IO and both simulators accept it unchanged; conversions in
+both directions (:meth:`from_folded` / :meth:`to_folded`) are exact
+and round-trip tested in ``tests/test_packed_topology.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .base import FoldedClos, Link, NetworkError, levels_are_consistent
+
+__all__ = [
+    "PackedFoldedClos",
+    "packed_random_folded_clos",
+    "packed_radix_regular_rfc",
+    "stage_arrays_of",
+]
+
+StageArrays = tuple[NDArray[np.int64], NDArray[np.int32]]
+
+
+def stage_arrays_of(topo) -> list[StageArrays]:
+    """Per-stage sorted-row up-CSR ``(offsets, indices)`` of any topology.
+
+    Packed topologies hand out their internal arrays directly; list
+    based :class:`FoldedClos` instances are flattened once (row-major,
+    rows already sorted).
+    """
+    if isinstance(topo, PackedFoldedClos):
+        return topo.up_stage_arrays()
+    arrays: list[StageArrays] = []
+    for level in range(topo.num_levels - 1):
+        n_lo = topo.level_sizes[level]
+        rows = [topo.up_neighbors(level, s) for s in range(n_lo)]
+        counts = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=n_lo
+        )
+        offsets = np.zeros(n_lo + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        indices = np.fromiter(
+            (t for row in rows for t in row),
+            dtype=np.int32,
+            count=int(offsets[-1]),
+        )
+        arrays.append((offsets, indices))
+    return arrays
+
+
+class PackedFoldedClos:
+    """A folded Clos held as per-stage CSR arrays (see module docs).
+
+    Parameters mirror :class:`~repro.topologies.base.FoldedClos` with
+    the stage adjacency replaced by ``stage_arrays``: one
+    ``(offsets, indices)`` pair per inter-level stage, ``offsets``
+    int64 of length ``N_level + 1`` and ``indices`` int32 with every
+    row strictly increasing (sorted, parallel-free).  Arrays are
+    validated vectorized, stored read-only, and never copied back into
+    Python rows.
+    """
+
+    def __init__(
+        self,
+        level_sizes: Sequence[int],
+        stage_arrays: Sequence[StageArrays],
+        hosts_per_leaf: int,
+        radix: int,
+        name: str = "packed-folded-clos",
+    ) -> None:
+        if not levels_are_consistent(level_sizes):
+            raise NetworkError(f"bad level sizes {list(level_sizes)!r}")
+        if len(stage_arrays) != len(level_sizes) - 1:
+            raise NetworkError(
+                f"{len(level_sizes)} levels need {len(level_sizes) - 1} "
+                f"inter-level stages, got {len(stage_arrays)}"
+            )
+        if hosts_per_leaf < 0:
+            raise NetworkError("hosts_per_leaf must be non-negative")
+        self.level_sizes: list[int] = [int(n) for n in level_sizes]
+        self.hosts_per_leaf = int(hosts_per_leaf)
+        self.radix = int(radix)
+        self.name = name
+
+        up_offsets: list[NDArray[np.int64]] = []
+        up_indices: list[NDArray[np.int32]] = []
+        for stage, (offsets, indices) in enumerate(stage_arrays):
+            n_lo = self.level_sizes[stage]
+            n_hi = self.level_sizes[stage + 1]
+            off = np.ascontiguousarray(offsets, dtype=np.int64)
+            idx = np.ascontiguousarray(indices, dtype=np.int32)
+            if off.shape != (n_lo + 1,) or off[0] != 0:
+                raise NetworkError(
+                    f"stage {stage}: offsets must be ({n_lo + 1},) "
+                    "starting at 0"
+                )
+            if np.any(np.diff(off) < 0) or idx.shape != (int(off[-1]),):
+                raise NetworkError(
+                    f"stage {stage}: offsets/indices shape mismatch"
+                )
+            if idx.size and (idx.min() < 0 or idx.max() >= n_hi):
+                raise NetworkError(
+                    f"stage {stage}: neighbor index out of range "
+                    f"for level of size {n_hi}"
+                )
+            if not _rows_strictly_sorted(off, idx):
+                raise NetworkError(
+                    f"stage {stage}: rows must be strictly increasing "
+                    "(sorted, no parallel links)"
+                )
+            off.setflags(write=False)
+            idx.setflags(write=False)
+            up_offsets.append(off)
+            up_indices.append(idx)
+        self._up_offsets = tuple(up_offsets)
+        self._up_indices = tuple(up_indices)
+
+        # Down CSR derived vectorized: group stage edges by upper
+        # endpoint; the stable argsort keeps sources ascending within
+        # each row, matching FoldedClos's derived down tuples exactly.
+        down_offsets: list[NDArray[np.int64]] = []
+        down_indices: list[NDArray[np.int32]] = []
+        for stage in range(len(self._up_offsets)):
+            n_lo = self.level_sizes[stage]
+            n_hi = self.level_sizes[stage + 1]
+            idx = self._up_indices[stage]
+            src = np.repeat(
+                np.arange(n_lo, dtype=np.int32),
+                np.diff(self._up_offsets[stage]),
+            )
+            counts = np.bincount(idx, minlength=n_hi)
+            d_off = np.zeros(n_hi + 1, dtype=np.int64)
+            np.cumsum(counts, out=d_off[1:])
+            d_idx = src[np.argsort(idx, kind="stable")]
+            d_off.setflags(write=False)
+            d_idx.setflags(write=False)
+            down_offsets.append(d_off)
+            down_indices.append(d_idx)
+        self._down_offsets = tuple(down_offsets)
+        self._down_indices = tuple(down_indices)
+
+        self._flat_offsets: list[int] = [0]
+        for n in self.level_sizes:
+            self._flat_offsets.append(self._flat_offsets[-1] + n)
+        self._links_cache: tuple[Link, ...] | None = None
+        self._links_array_cache: NDArray[np.int32] | None = None
+        self._terminal_cache: NDArray[np.int32] | None = None
+
+    # ------------------------------------------------------------------
+    # Array accessors (the packed fast path)
+    # ------------------------------------------------------------------
+    def up_stage_arrays(self) -> list[StageArrays]:
+        """Per-stage up-CSR ``(offsets, indices)``, read-only views."""
+        return [
+            (self._up_offsets[i], self._up_indices[i])
+            for i in range(len(self._up_offsets))
+        ]
+
+    def down_stage_arrays(self) -> list[StageArrays]:
+        """Per-stage down-CSR (upper switch -> lower sources)."""
+        return [
+            (self._down_offsets[i], self._down_indices[i])
+            for i in range(len(self._down_offsets))
+        ]
+
+    def terminal_switches(self) -> NDArray[np.int32]:
+        """int32 ``(T,)`` flat leaf-switch id of every terminal."""
+        if self._terminal_cache is None:
+            if self.hosts_per_leaf:
+                attach = (
+                    np.arange(self.num_terminals, dtype=np.int64)
+                    // self.hosts_per_leaf
+                ).astype(np.int32)
+            else:
+                attach = np.empty(0, dtype=np.int32)
+            attach.setflags(write=False)
+            self._terminal_cache = attach
+        return self._terminal_cache
+
+    # ------------------------------------------------------------------
+    # Identity / sizes (FoldedClos duck API)
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_sizes)
+
+    @property
+    def num_switches(self) -> int:
+        return self._flat_offsets[-1]
+
+    @property
+    def num_leaves(self) -> int:
+        return self.level_sizes[0]
+
+    @property
+    def num_terminals(self) -> int:
+        return self.num_leaves * self.hosts_per_leaf
+
+    @property
+    def num_links(self) -> int:
+        return sum(idx.size for idx in self._up_indices)
+
+    @property
+    def num_ports(self) -> int:
+        return 2 * self.num_links + self.num_terminals
+
+    # ------------------------------------------------------------------
+    # Level-local adjacency
+    # ------------------------------------------------------------------
+    def up_neighbors(self, level: int, index: int) -> tuple[int, ...]:
+        if level == self.num_levels - 1:
+            return ()
+        off = self._up_offsets[level]
+        return tuple(
+            self._up_indices[level][off[index] : off[index + 1]].tolist()
+        )
+
+    def down_neighbors(self, level: int, index: int) -> tuple[int, ...]:
+        if level == 0:
+            return ()
+        off = self._down_offsets[level - 1]
+        return tuple(
+            self._down_indices[level - 1][off[index] : off[index + 1]].tolist()
+        )
+
+    def up_degree(self, level: int, index: int) -> int:
+        if level == self.num_levels - 1:
+            return 0
+        off = self._up_offsets[level]
+        return int(off[index + 1] - off[index])
+
+    def down_degree(self, level: int, index: int) -> int:
+        if level == 0:
+            return self.hosts_per_leaf
+        off = self._down_offsets[level - 1]
+        return int(off[index + 1] - off[index])
+
+    # ------------------------------------------------------------------
+    # Flat-id view
+    # ------------------------------------------------------------------
+    def switch_id(self, level: int, index: int) -> int:
+        if not 0 <= level < self.num_levels:
+            raise NetworkError(f"level {level} out of range")
+        if not 0 <= index < self.level_sizes[level]:
+            raise NetworkError(f"index {index} out of range at level {level}")
+        return self._flat_offsets[level] + index
+
+    def switch_level(self, switch: int) -> tuple[int, int]:
+        if not 0 <= switch < self.num_switches:
+            raise NetworkError(f"switch {switch} out of range")
+        for level in range(self.num_levels):
+            if switch < self._flat_offsets[level + 1]:
+                return level, switch - self._flat_offsets[level]
+        raise AssertionError("unreachable")
+
+    def links_array(self) -> NDArray[np.int32]:
+        """Links as int32 ``(L, 2)`` flat-id pairs, reference order.
+
+        Row ``i`` names the same cable as ``FoldedClos.links()[i]`` of
+        the equivalent list topology: stage-major, then row-major with
+        sorted upper endpoints.  Memoized, read-only.
+        """
+        if self._links_array_cache is None:
+            parts = []
+            for stage in range(len(self._up_offsets)):
+                lo_off = self._flat_offsets[stage]
+                hi_off = self._flat_offsets[stage + 1]
+                idx = self._up_indices[stage]
+                stage_links = np.empty((idx.size, 2), dtype=np.int32)
+                stage_links[:, 0] = np.repeat(
+                    np.arange(lo_off, lo_off + self.level_sizes[stage],
+                              dtype=np.int32),
+                    np.diff(self._up_offsets[stage]),
+                )
+                stage_links[:, 1] = idx
+                stage_links[:, 1] += np.int32(hi_off)
+                parts.append(stage_links)
+            joined = (
+                np.concatenate(parts)
+                if parts
+                else np.empty((0, 2), dtype=np.int32)
+            )
+            joined.setflags(write=False)
+            self._links_array_cache = joined
+        return self._links_array_cache
+
+    def links(self) -> list[Link]:
+        """Stable-order :class:`Link` list (fresh list per call)."""
+        if self._links_cache is None:
+            arr = self.links_array()
+            self._links_cache = tuple(
+                Link(int(a), int(b)) for a, b in arr.tolist()
+            )
+        return list(self._links_cache)
+
+    def adjacency(self) -> list[list[int]]:
+        """Flat-id adjacency lists over switches (terminals excluded)."""
+        adj: list[list[int]] = [[] for _ in range(self.num_switches)]
+        for a, b in self.links_array().tolist():
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def terminal_switch(self, terminal: int) -> int:
+        if not 0 <= terminal < self.num_terminals:
+            raise NetworkError(f"terminal {terminal} out of range")
+        return terminal // self.hosts_per_leaf
+
+    def leaf_terminals(self, leaf_index: int) -> range:
+        if not 0 <= leaf_index < self.num_leaves:
+            raise NetworkError(f"leaf {leaf_index} out of range")
+        h = self.hosts_per_leaf
+        return range(leaf_index * h, (leaf_index + 1) * h)
+
+    # ------------------------------------------------------------------
+    # Structural checks (vectorized)
+    # ------------------------------------------------------------------
+    def _degree_arrays(self, level: int) -> tuple[NDArray, NDArray]:
+        """``(up_degrees, down_degrees)`` of every switch at a level."""
+        n = self.level_sizes[level]
+        up = (
+            np.diff(self._up_offsets[level])
+            if level < self.num_levels - 1
+            else np.zeros(n, dtype=np.int64)
+        )
+        down = (
+            np.diff(self._down_offsets[level - 1])
+            if level > 0
+            else np.full(n, self.hosts_per_leaf, dtype=np.int64)
+        )
+        return up, down
+
+    def is_radix_regular(self) -> bool:
+        half = self.radix // 2
+        if self.radix % 2 != 0 or self.hosts_per_leaf != half:
+            return False
+        last = self.num_levels - 1
+        for level in range(self.num_levels):
+            up, down = self._degree_arrays(level)
+            if level == last:
+                if np.any(down != self.radix):
+                    return False
+            elif np.any(up != half) or np.any(down != half):
+                return False
+        return True
+
+    def validate(self) -> None:
+        """Vectorized twin of :meth:`FoldedClos.validate`."""
+        last = self.num_levels - 1
+        for level in range(self.num_levels):
+            up, down = self._degree_arrays(level)
+            over = np.nonzero(up + down > self.radix)[0]
+            if over.size:
+                index = int(over[0])
+                raise NetworkError(
+                    f"switch (level={level}, index={index}) uses "
+                    f"{int(up[index] + down[index])} ports, exceeding "
+                    f"radix {self.radix}"
+                )
+            if level != last:
+                dead = np.nonzero(up == 0)[0]
+                if dead.size:
+                    raise NetworkError(
+                        f"switch (level={level}, index={int(dead[0])}) has "
+                        "no up-links; network is not a folded Clos"
+                    )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_folded(cls, topo: FoldedClos) -> "PackedFoldedClos":
+        """Exact packed copy of a list-based topology."""
+        return cls(
+            topo.level_sizes,
+            stage_arrays_of(topo),
+            hosts_per_leaf=topo.hosts_per_leaf,
+            radix=topo.radix,
+            name=topo.name,
+        )
+
+    def to_folded(self) -> FoldedClos:
+        """Exact list-based copy (row tuples already sorted)."""
+        stages = []
+        for level in range(self.num_levels - 1):
+            off = self._up_offsets[level]
+            idx = self._up_indices[level]
+            stages.append(
+                [
+                    idx[off[s] : off[s + 1]].tolist()
+                    for s in range(self.level_sizes[level])
+                ]
+            )
+        return FoldedClos(
+            self.level_sizes,
+            stages,
+            hosts_per_leaf=self.hosts_per_leaf,
+            radix=self.radix,
+            name=self.name,
+        )
+
+    def to_networkx(self):
+        import networkx as nx
+
+        graph = nx.Graph(name=self.name)
+        for level in range(self.num_levels):
+            for index in range(self.level_sizes[level]):
+                graph.add_node(self.switch_id(level, index), level=level)
+        graph.add_edges_from(
+            (int(a), int(b)) for a, b in self.links_array().tolist()
+        )
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PackedFoldedClos {self.name!r} R={self.radix} "
+            f"levels={self.level_sizes} T={self.num_terminals}>"
+        )
+
+
+def _rows_strictly_sorted(
+    offsets: NDArray[np.int64], indices: NDArray[np.int32]
+) -> bool:
+    if indices.size == 0:
+        return True
+    ascending = np.ones(indices.size, dtype=bool)
+    ascending[1:] = indices[1:] > indices[:-1]
+    ascending[offsets[1:-1]] = True
+    return bool(np.all(ascending))
+
+
+# ----------------------------------------------------------------------
+# Array-native RFC generation
+# ----------------------------------------------------------------------
+
+def packed_random_folded_clos(
+    level_sizes: Sequence[int],
+    up_degrees: Sequence[int],
+    hosts_per_leaf: int,
+    rng: "np.random.Generator | int",
+    radix: int | None = None,
+    name: str | None = None,
+) -> PackedFoldedClos:
+    """Array-native twin of :func:`repro.core.rfc.random_folded_clos`.
+
+    Each stage is drawn by the batched pairing-model generator
+    (:func:`repro.accel.generate.random_bipartite_csr`) straight into
+    CSR arrays -- no ``list[set]`` rows exist at any point.  The RNG is
+    a :class:`numpy.random.Generator` (or an explicit seed for one);
+    samples are distribution-equivalent, not stream-compatible, with
+    the ``random.Random``-driven reference (see
+    :mod:`repro.accel.generate`).
+    """
+    from ..accel.generate import random_bipartite_csr
+
+    if len(up_degrees) != len(level_sizes) - 1:
+        raise NetworkError("need one up-degree per stage")
+    gen = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    stages: list[StageArrays] = []
+    max_ports = [0] * len(level_sizes)
+    for i, d1 in enumerate(up_degrees):
+        n1, n2 = int(level_sizes[i]), int(level_sizes[i + 1])
+        total = n1 * d1
+        if total % n2 != 0:
+            raise NetworkError(
+                f"stage {i}: {n1} x {d1} up-links do not divide evenly "
+                f"over {n2} upper switches"
+            )
+        d2 = total // n2
+        stages.append(random_bipartite_csr(n1, d1, n2, d2, rng=gen))
+        max_ports[i] += d1
+        max_ports[i + 1] += d2
+    max_ports[0] += hosts_per_leaf
+    return PackedFoldedClos(
+        level_sizes,
+        stages,
+        hosts_per_leaf=hosts_per_leaf,
+        radix=radix if radix is not None else max(max_ports),
+        name=name or f"packed-RFC(levels={[int(n) for n in level_sizes]})",
+    )
+
+
+def packed_radix_regular_rfc(
+    radix: int,
+    n1: int,
+    levels: int,
+    rng: "np.random.Generator | int",
+) -> PackedFoldedClos:
+    """Array-native twin of :func:`repro.core.rfc.radix_regular_rfc`."""
+    from ..core.rfc import rfc_level_sizes
+
+    if radix < 4 or radix % 2 != 0:
+        raise NetworkError(f"radix must be even and >= 4, got {radix}")
+    half = radix // 2
+    sizes = rfc_level_sizes(n1, levels)
+    if half > sizes[-1]:
+        raise NetworkError(
+            f"radix {radix} too large: top stage needs R/2 <= N_l = {sizes[-1]}"
+        )
+    return packed_random_folded_clos(
+        sizes,
+        up_degrees=[half] * (levels - 1),
+        hosts_per_leaf=half,
+        rng=rng,
+        radix=radix,
+        name=f"packed-RFC(R={radix}, N1={n1}, l={levels})",
+    )

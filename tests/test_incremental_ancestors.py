@@ -1,0 +1,107 @@
+"""Incremental ancestor analysis vs from-scratch sweeps.
+
+:class:`repro.accel.IncrementalSweeper` promises bit-identical
+descendant and coverage masks to a fresh :class:`StageSweeper` after
+every :func:`repro.core.expansion.expand_rfc` step -- the incremental
+path re-sweeps only the dirty rows (endpoints of rewired edges and
+their up-neighbors), so these tests compare full mask arrays, not just
+summary scalars, and check that the dirty set actually stays a small
+fraction of the network (otherwise the optimization is a no-op).
+"""
+
+import numpy as np
+import pytest
+
+from repro import accel
+from repro.core.expansion import expand_rfc, expansion_trajectory
+from repro.core.rfc import radix_regular_rfc
+from repro.topologies.packed import stage_arrays_of
+
+pytestmark = pytest.mark.skipif(
+    not accel.is_available(), reason="numpy accel layer unavailable"
+)
+
+
+def _scratch(topo):
+    return accel.StageSweeper.from_arrays(
+        topo.level_sizes, stage_arrays_of(topo)
+    )
+
+
+class TestIncrementalEqualsScratch:
+    def test_masks_identical_across_expansion(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=3)
+        inc = accel.IncrementalSweeper(
+            topo.level_sizes, stage_arrays_of(topo)
+        )
+        for step in range(4):
+            topo, _report = expand_rfc(topo, 1, rng=100 + step)
+            stats = inc.update(topo.level_sizes, stage_arrays_of(topo))
+            scratch = _scratch(topo)
+            for ours, theirs in zip(
+                inc.descendant_masks(), scratch.descendant_masks()
+            ):
+                assert np.array_equal(ours, theirs)
+            assert np.array_equal(
+                inc.coverage_masks(), scratch.coverage_masks()
+            )
+            assert inc.has_updown() == scratch.has_updown()
+            assert inc.reachable_fraction() == scratch.reachable_fraction()
+            assert 0 < stats["dirty_rows"] <= stats["total_rows"]
+
+    def test_dirty_set_stays_small(self):
+        """The point of incrementality: an O(R) rewire must not dirty
+        the whole network."""
+        topo = radix_regular_rfc(8, 64, 3, rng=3)
+        inc = accel.IncrementalSweeper(
+            topo.level_sizes, stage_arrays_of(topo)
+        )
+        topo, _ = expand_rfc(topo, 1, rng=7)
+        stats = inc.update(topo.level_sizes, stage_arrays_of(topo))
+        assert stats["dirty_rows"] < stats["total_rows"] / 2
+
+    def test_update_rejects_level_count_change(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=3)
+        inc = accel.IncrementalSweeper(
+            topo.level_sizes, stage_arrays_of(topo)
+        )
+        other = radix_regular_rfc(8, 16, 2, rng=3)
+        with pytest.raises(ValueError):
+            inc.update(other.level_sizes, stage_arrays_of(other))
+
+    def test_update_rejects_shrink(self):
+        big = radix_regular_rfc(8, 20, 3, rng=3)
+        small = radix_regular_rfc(8, 16, 3, rng=3)
+        inc = accel.IncrementalSweeper(
+            big.level_sizes, stage_arrays_of(big)
+        )
+        with pytest.raises(ValueError):
+            inc.update(small.level_sizes, stage_arrays_of(small))
+
+
+class TestExpansionTrajectory:
+    def test_accel_and_reference_agree(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=3)
+        final_a, report_a, steps_a = expansion_trajectory(
+            topo, steps=3, rng=42, accel=True
+        )
+        final_r, report_r, steps_r = expansion_trajectory(
+            topo, steps=3, rng=42, accel=False
+        )
+        assert final_a.links() == final_r.links()
+        assert report_a == report_r
+        assert len(steps_a) == len(steps_r) == 3
+        for a, r in zip(steps_a, steps_r):
+            assert a.level_sizes == r.level_sizes
+            assert a.num_terminals == r.num_terminals
+            assert a.reachable_fraction == r.reachable_fraction
+            assert a.updown_ok == r.updown_ok
+
+    def test_steps_record_growth(self):
+        topo = radix_regular_rfc(8, 16, 3, rng=3)
+        _final, _report, steps = expansion_trajectory(
+            topo, steps=2, rng=11
+        )
+        assert steps[0].num_terminals < steps[1].num_terminals
+        for step in steps:
+            assert 0.0 <= step.reachable_fraction <= 1.0

@@ -22,9 +22,11 @@ def codes_for(snippet: str, filename: str = "lib/mod.py"):
     return [f.code for f in findings_for(snippet, filename)]
 
 
-# One (positive, clean) snippet pair per code.  The positive snippet
-# carries exactly one violation, on the line marked ``# HIT`` (the
-# suppression test rewrites that marker into an allow-comment).
+# One (positive, clean) snippet pair per code, with an optional third
+# element naming the fixture filename (for path-gated checkers).  The
+# positive snippet carries exactly one violation, on the line marked
+# ``# HIT`` (the suppression test rewrites that marker into an
+# allow-comment).
 CASES = {
     "RPR001": (
         """\
@@ -101,30 +103,54 @@ CASES = {
             return acc
         """,
     ),
+    "RPR007": (
+        """\
+        def count_ports(topo):
+            total = 0
+            for s in range(topo.num_switches):
+                total += topo.up_degree(s)  # HIT
+            return total
+        """,
+        """\
+        import numpy as np
+
+        def count_ports(topo):
+            return int(np.sum(topo.links_array() >= 0))
+        """,
+        "lib/accel/hot.py",
+    ),
 }
+
+
+def _case(code):
+    entry = CASES[code]
+    if len(entry) == 3:
+        return entry
+    positive, clean = entry
+    return positive, clean, "lib/mod.py"
 
 
 @pytest.mark.parametrize("code", sorted(CASES))
 class TestEveryChecker:
     def test_positive_hit(self, code):
-        positive, _ = CASES[code]
-        assert codes_for(positive) == [code]
+        positive, _, filename = _case(code)
+        assert codes_for(positive, filename) == [code]
 
     def test_clean_pass(self, code):
-        _, clean = CASES[code]
-        assert codes_for(clean) == []
+        _, clean, filename = _case(code)
+        assert codes_for(clean, filename) == []
 
     def test_suppressed_by_comment(self, code):
-        positive, _ = CASES[code]
+        positive, _, filename = _case(code)
         waived = positive.replace(
             "# HIT", f"# repro: allow-{code.lower()} -- fixture waiver"
         )
-        assert codes_for(waived) == []
+        assert codes_for(waived, filename) == []
 
     def test_unjustified_suppression_is_reported(self, code):
-        positive, _ = CASES[code]
+        positive, _, filename = _case(code)
         waived = positive.replace("# HIT", f"# repro: allow-{code}")
-        assert codes_for(waived) == [UNJUSTIFIED_CODE]
+        assert codes_for(waived, filename) == [UNJUSTIFIED_CODE]
 
 
 class TestRpr001Variants:
@@ -432,6 +458,69 @@ class TestRpr006Variants:
             def api(x, pair=(), label="", limit=0):
                 return x, pair, label, limit
             """
+        ) == []
+
+
+class TestRpr007Variants:
+    HOT = "lib/topologies/packed.py"
+
+    def test_bare_scale_name_fires(self):
+        assert codes_for(
+            """\
+            def tally(num_terminals, degree_of):
+                total = 0
+                for t in range(num_terminals):
+                    total |= degree_of(t)
+                return total
+            """,
+            self.HOT,
+        ) == ["RPR007"]
+
+    def test_outside_hot_paths_clean(self):
+        assert codes_for(
+            """\
+            def tally(num_terminals, degree_of):
+                total = 0
+                for t in range(num_terminals):
+                    total += degree_of(t)
+                return total
+            """,
+            "lib/analysis/report.py",
+        ) == []
+
+    def test_constant_range_clean(self):
+        assert codes_for(
+            """\
+            def tally(degree_of):
+                total = 0
+                for t in range(8):
+                    total += degree_of(t)
+                return total
+            """,
+            self.HOT,
+        ) == []
+
+    def test_array_element_writes_clean(self):
+        assert codes_for(
+            """\
+            def fill(num_switches, out, degree_of):
+                for s in range(num_switches):
+                    out[s] = degree_of(s)
+                return out
+            """,
+            self.HOT,
+        ) == []
+
+    def test_shadowed_range_clean(self):
+        assert codes_for(
+            """\
+            def tally(num_terminals, range):
+                total = 0
+                for t in range(num_terminals):
+                    total += t
+                return total
+            """,
+            self.HOT,
         ) == []
 
 

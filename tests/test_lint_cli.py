@@ -132,5 +132,5 @@ class TestSelfGate:
 
         assert checker_codes() == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR101", "RPR102", "RPR103", "RPR104", "RPR105",
+            "RPR007", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105",
         ]

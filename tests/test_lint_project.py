@@ -422,6 +422,45 @@ class TestDtypeWidth:
         assert _codes(findings) == ["RPR102"]
         assert "cumsum" in findings[0].message
 
+    def test_dtype_survives_repeat_and_diff(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def positions(offsets, lengths):
+                off = np.asarray(offsets, dtype=np.int32)
+                starts = np.repeat(off[:-1], np.diff(off))
+                return starts * starts
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+        assert "wraps silently" in findings[0].message
+
+    def test_dtype_survives_sort_and_unique(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def keys(raw):
+                k = np.sort(np.asarray(raw, dtype=np.int64))
+                u = np.unique(k)
+                return u * u
+            """
+        )
+        assert findings == []
+
+    def test_ascontiguousarray_is_a_constructor(self):
+        findings = self._findings(
+            """\
+            import numpy as np
+
+            def pack(values):
+                flat = np.ascontiguousarray(values, dtype=np.int32)
+                return flat * flat
+            """
+        )
+        assert _codes(findings) == ["RPR102"]
+
     def test_cumsum_with_wide_dtype_is_clean(self):
         findings = self._findings(
             """\

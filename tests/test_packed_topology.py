@@ -1,0 +1,227 @@
+"""Packed (CSR-native) topology path: round trips, generator
+distribution, CSR invariants.
+
+Three layers of evidence that the array-native extreme-scale path is
+the same mathematical object as the reference:
+
+* **round trips** -- ``PackedFoldedClos.from_folded`` /
+  ``to_folded`` preserve every observable (links in reference order,
+  terminal attachment, per-stage degrees) exactly;
+* **distribution** -- the batched generator is not RNG-stream
+  compatible with the pure-Python Steger--Wormald oracle, so
+  equivalence is differential: over hundreds of pinned seeds the
+  per-edge inclusion frequency of both engines must sit within
+  binomial noise of the closed-form expectation (``d1 / n2`` for the
+  bipartite stages, ``d / (n - 1)`` for regular graphs);
+* **invariants** -- Hypothesis drives the CSR builders across the
+  parameter space and asserts structure per seed: exact degrees,
+  strictly sorted rows (hence no parallel edges), index ranges, and
+  no self-loops for the regular variant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.generate import (
+    csr_rows_sorted,
+    random_bipartite_csr,
+    random_regular_csr,
+)
+from repro.core.rfc import radix_regular_rfc
+from repro.topologies.packed import (
+    PackedFoldedClos,
+    packed_radix_regular_rfc,
+    packed_random_folded_clos,
+    stage_arrays_of,
+)
+from repro.topologies.random_graphs import (
+    GenerationError,
+    random_bipartite_graph,
+)
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return radix_regular_rfc(8, 32, 3, rng=5)
+
+    @pytest.fixture(scope="class")
+    def packed(self, reference):
+        return PackedFoldedClos.from_folded(reference)
+
+    def test_links_exact_order(self, reference, packed):
+        assert packed.links() == reference.links()
+        assert np.array_equal(packed.links_array(), reference.links_array())
+
+    def test_terminal_attachment(self, reference, packed):
+        assert packed.num_terminals == reference.num_terminals
+        for t in range(reference.num_terminals):
+            assert packed.terminal_switch(t) == reference.terminal_switch(t)
+
+    def test_per_stage_degrees(self, reference, packed):
+        for level in range(reference.num_levels):
+            for s in range(reference.level_sizes[level]):
+                assert packed.up_degree(level, s) == reference.up_degree(
+                    level, s
+                )
+                assert packed.down_degree(level, s) == reference.down_degree(
+                    level, s
+                )
+
+    def test_neighbors_and_ids(self, reference, packed):
+        for level in range(reference.num_levels):
+            for s in range(reference.level_sizes[level]):
+                assert packed.up_neighbors(level, s) == tuple(
+                    reference.up_neighbors(level, s)
+                )
+                assert packed.down_neighbors(level, s) == tuple(
+                    reference.down_neighbors(level, s)
+                )
+                assert packed.switch_id(level, s) == reference.switch_id(
+                    level, s
+                )
+
+    def test_to_folded_closes_the_loop(self, reference, packed):
+        back = packed.to_folded()
+        assert back.level_sizes == reference.level_sizes
+        assert back.hosts_per_leaf == reference.hosts_per_leaf
+        assert back.links() == reference.links()
+        assert stage_arrays_of(back)[0][1].tolist() == (
+            stage_arrays_of(reference)[0][1].tolist()
+        )
+
+    def test_adjacency_matches(self, reference, packed):
+        assert packed.adjacency() == reference.adjacency()
+
+    def test_validate_and_regularity(self, packed):
+        packed.validate()
+        assert packed.is_radix_regular()
+
+
+class TestGeneratorDistribution:
+    """Differential validation against the pure-Python oracle.
+
+    With ``n1=8, d1=2, n2=4, d2=4`` every left vertex picks 2 of 4
+    right vertices, so each of the 32 (u, v) pairs is an edge with
+    probability exactly 1/2 in the uniform pairing model.  Counting
+    inclusions over many seeds gives a Binomial(seeds, 1/2) per pair;
+    both engines must stay within 5 sigma of the mean -- the same
+    window the reference itself needs -- and within sampling noise of
+    each other.
+    """
+
+    N1, D1, N2, D2 = 8, 2, 4, 4
+    SEEDS = 300
+
+    def _accel_counts(self):
+        counts = np.zeros((self.N1, self.N2), dtype=np.int64)
+        for seed in range(self.SEEDS):
+            off, idx = random_bipartite_csr(
+                self.N1, self.D1, self.N2, self.D2, rng=seed
+            )
+            for u in range(self.N1):
+                counts[u, idx[off[u]:off[u + 1]]] += 1
+        return counts
+
+    def _reference_counts(self):
+        counts = np.zeros((self.N1, self.N2), dtype=np.int64)
+        for seed in range(self.SEEDS):
+            left, _right = random_bipartite_graph(
+                self.N1, self.D1, self.N2, self.D2, rng=seed
+            )
+            for u, row in enumerate(left):
+                counts[u, sorted(row)] += 1
+        return counts
+
+    def test_per_edge_inclusion_matches_closed_form(self):
+        expect = self.SEEDS * self.D1 / self.N2
+        sigma = (self.SEEDS * 0.5 * 0.5) ** 0.5
+        for counts in (self._accel_counts(), self._reference_counts()):
+            assert np.all(np.abs(counts - expect) < 5 * sigma)
+
+    def test_engines_agree_with_each_other(self):
+        diff = np.abs(self._accel_counts() - self._reference_counts())
+        # Two independent Binomial(SEEDS, 1/2) samples differ by less
+        # than 7 sigma of their difference distribution.
+        sigma = (2 * self.SEEDS * 0.25) ** 0.5
+        assert np.max(diff) < 7 * sigma
+
+    def test_regular_mean_degree_is_exact(self):
+        n, degree = 10, 3
+        for seed in (0, 1, 2, 3, 4):
+            off, idx = random_regular_csr(n, degree, rng=seed)
+            assert np.array_equal(np.diff(off), np.full(n, degree))
+            # Symmetry: (u, v) present iff (v, u) present.
+            pairs = {(u, v) for u in range(n)
+                     for v in idx[off[u]:off[u + 1]]}
+            assert all((v, u) in pairs for u, v in pairs)
+
+
+@st.composite
+def bipartite_params(draw):
+    """Feasible ``(n1, d1, n2, d2)`` with matching degree sums."""
+    n2 = draw(st.integers(min_value=1, max_value=12))
+    d1 = draw(st.integers(min_value=0, max_value=n2))
+    scale = draw(st.integers(min_value=1, max_value=4))
+    n1 = n2 * scale
+    # n1 * d1 == n2 * (d1 * scale) always balances, and
+    # d2 = d1 * scale <= n2 * scale = n1 keeps the config feasible.
+    return n1, d1, n2, d1 * scale
+
+
+class TestCsrInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(params=bipartite_params(), seed=st.integers(0, 2**32 - 1))
+    def test_bipartite_structure(self, params, seed):
+        n1, d1, n2, d2 = params
+        off, idx = random_bipartite_csr(n1, d1, n2, d2, rng=seed)
+        assert off.dtype == np.int64 and idx.dtype == np.int32
+        assert off.shape == (n1 + 1,) and off[0] == 0
+        assert np.array_equal(np.diff(off), np.full(n1, d1))
+        assert csr_rows_sorted(off, idx)  # sorted => no parallels
+        if idx.size:
+            assert idx.min() >= 0 and idx.max() < n2
+        # Right-side degrees are exact too.
+        assert np.array_equal(
+            np.bincount(idx, minlength=n2), np.full(n2, d2)
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        degree=st.integers(min_value=0, max_value=6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_regular_structure(self, n, degree, seed):
+        if degree >= n or (n * degree) % 2:
+            return
+        try:
+            off, idx = random_regular_csr(n, degree, rng=seed)
+        except GenerationError:
+            # Tiny dense cases can genuinely wedge out of restarts.
+            return
+        assert np.array_equal(np.diff(off), np.full(n, degree))
+        assert csr_rows_sorted(off, idx)
+        for u in range(n):
+            assert u not in idx[off[u]:off[u + 1]]  # no self-loops
+
+
+class TestPackedBuilders:
+    def test_packed_radix_regular_matches_reference_shape(self):
+        packed = packed_radix_regular_rfc(8, 32, 3, rng=9)
+        reference = radix_regular_rfc(8, 32, 3, rng=9)
+        assert packed.level_sizes == reference.level_sizes
+        assert packed.num_terminals == reference.num_terminals
+        assert packed.num_links == reference.num_links
+        assert packed.is_radix_regular()
+        packed.validate()
+
+    def test_packed_random_folded_clos_requires_rng(self):
+        with pytest.raises(TypeError):
+            packed_random_folded_clos([4, 2], [2], 4)
+
+    def test_generation_error_propagates(self):
+        with pytest.raises(GenerationError):
+            packed_random_folded_clos([3, 2], [4], 1, rng=0)
